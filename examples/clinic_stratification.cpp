@@ -1,0 +1,104 @@
+/// Clinic stratification study (the paper's Sec 5.1 closing suggestion:
+/// "developing separate models by stratifying across clinics ... may be
+/// beneficial"). Compares, for QoL:
+///   1. one pooled model evaluated per clinic,
+///   2. dedicated per-clinic models,
+/// and additionally demonstrates leakage-free evaluation by splitting at
+/// the *patient* level (every patient's samples stay on one side).
+
+#include <iostream>
+
+#include "cohort/simulator.h"
+#include "core/evaluation.h"
+#include "core/metrics.h"
+#include "core/sample_builder.h"
+#include "data/split.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace mysawh;  // NOLINT
+
+int Fail(const Status& status) {
+  std::cerr << status.ToString() << "\n";
+  return 1;
+}
+
+int Run() {
+  cohort::CohortConfig config;
+  config.seed = 99;
+  auto cohort = cohort::CohortSimulator(config).Generate();
+  if (!cohort.ok()) return Fail(cohort.status());
+  auto builder =
+      core::SampleSetBuilder::Create(&*cohort, core::SampleBuildOptions{});
+  if (!builder.ok()) return Fail(builder.status());
+  auto sets = builder->Build(core::Outcome::kQol);
+  if (!sets.ok()) return Fail(sets.status());
+  const Dataset& samples = sets->dd_fi;
+
+  // Patient-level 80/20 split: no patient straddles train and test.
+  Rng rng(7);
+  auto patients = samples.Attribute("patient");
+  if (!patients.ok()) return Fail(patients.status());
+  auto split = GroupTrainTestSplit(**patients, 0.2, &rng);
+  if (!split.ok()) return Fail(split.status());
+  auto train = samples.Take(split->train);
+  auto test = samples.Take(split->test);
+  if (!train.ok() || !test.ok()) return Fail(train.status());
+
+  const auto params =
+      core::DefaultGbtParams(core::Outcome::kQol, core::Approach::kDataDriven);
+
+  // 1. Pooled model.
+  auto pooled = gbt::GbtModel::Train(*train, params);
+  if (!pooled.ok()) return Fail(pooled.status());
+
+  // 2. Per-clinic models.
+  auto clinic_of = [](const Dataset& ds, int64_t clinic) {
+    const auto* clinics = ds.Attribute("clinic").value();
+    std::vector<int64_t> rows;
+    for (size_t i = 0; i < clinics->size(); ++i) {
+      if ((*clinics)[i] == clinic) rows.push_back(static_cast<int64_t>(i));
+    }
+    return ds.Take(rows).value();
+  };
+
+  TablePrinter table(
+      {"clinic", "test rows", "pooled 1-MAPE", "dedicated 1-MAPE"});
+  for (size_t clinic = 0; clinic < cohort->config.clinics.size(); ++clinic) {
+    const Dataset clinic_train = clinic_of(*train, static_cast<int64_t>(clinic));
+    const Dataset clinic_test = clinic_of(*test, static_cast<int64_t>(clinic));
+    if (clinic_test.num_rows() == 0 || clinic_train.num_rows() < 20) continue;
+
+    auto pooled_preds = pooled->Predict(clinic_test);
+    if (!pooled_preds.ok()) return Fail(pooled_preds.status());
+    auto pooled_metrics =
+        core::ComputeRegressionMetrics(clinic_test.labels(), *pooled_preds);
+    if (!pooled_metrics.ok()) return Fail(pooled_metrics.status());
+
+    auto dedicated = gbt::GbtModel::Train(clinic_train, params);
+    if (!dedicated.ok()) return Fail(dedicated.status());
+    auto dedicated_preds = dedicated->Predict(clinic_test);
+    if (!dedicated_preds.ok()) return Fail(dedicated_preds.status());
+    auto dedicated_metrics =
+        core::ComputeRegressionMetrics(clinic_test.labels(), *dedicated_preds);
+    if (!dedicated_metrics.ok()) return Fail(dedicated_metrics.status());
+
+    table.AddRow({cohort->config.clinics[clinic].name,
+                  std::to_string(clinic_test.num_rows()),
+                  FormatPercent(pooled_metrics->one_minus_mape, 1),
+                  FormatPercent(dedicated_metrics->one_minus_mape, 1)});
+  }
+  std::cout
+      << "QoL, patient-level split (no patient leaks across the split):\n"
+      << table.ToString()
+      << "\nDedicated models trade data volume for protocol homogeneity —\n"
+         "for the small Hong Kong cohort the pooled model usually wins,\n"
+         "matching the paper's sample-size caveat.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,59 @@
+/// Prints cohort-level dataset statistics: sample counts before/after the
+/// QA filter at several thresholds, gap statistics, outcome distributions
+/// and class balance. Useful for eyeballing how closely a configuration
+/// matches the paper's Section 3 numbers.
+#include <cstdio>
+#include <iostream>
+
+#include "cohort/simulator.h"
+#include "core/sample_builder.h"
+#include "util/stats.h"
+
+using namespace mysawh;
+
+int main() {
+  cohort::CohortConfig config;
+  cohort::CohortSimulator sim(config);
+  auto cohort = sim.Generate();
+  if (!cohort.ok()) { std::cerr << cohort.status().ToString() << "\n"; return 1; }
+
+  for (double threshold : {0.30, 0.10, 0.05, 0.03, 0.02, 0.01, 0.0}) {
+    core::SampleBuildOptions options;
+    options.max_missing_fraction = threshold;
+    auto builder = core::SampleSetBuilder::Create(&*cohort, options);
+    auto sets = builder->Build(core::Outcome::kQol);
+    if (!sets.ok()) { std::cerr << sets.status().ToString() << "\n"; return 1; }
+    std::printf("threshold=%.2f retained=%lld / %lld\n", threshold,
+                (long long)sets->retained, (long long)sets->total_candidates);
+  }
+  core::SampleBuildOptions options;
+  auto builder = core::SampleSetBuilder::Create(&*cohort, options);
+  auto sets = builder->Build(core::Outcome::kQol);
+  std::printf("gaps: n=%lld mean_len=%.2f max=%lld per-patient=%.1f\n",
+              (long long)sets->gap_stats_raw.num_gaps,
+              sets->gap_stats_raw.mean_length,
+              (long long)sets->gap_stats_raw.max_length,
+              (double)sets->gap_stats_raw.num_gaps / 261.0);
+  // Outcome distributions.
+  auto falls_sets = builder->Build(core::Outcome::kFalls);
+  auto sppb_sets = builder->Build(core::Outcome::kSppb);
+  double qol_mean = Mean(sets->dd.labels());
+  int64_t falls_true = 0;
+  for (double y : falls_sets->dd.labels()) falls_true += y > 0.5;
+  std::vector<double> sppb = sppb_sets->dd.labels();
+  std::printf("QoL mean=%.3f sd=%.3f | Falls true=%lld/%lld (%.1f%%) | SPPB mean=%.2f sd=%.2f\n",
+              qol_mean, StdDev(sets->dd.labels()), (long long)falls_true,
+              (long long)falls_sets->dd.labels().size(),
+              100.0 * falls_true / falls_sets->dd.labels().size(),
+              Mean(sppb), StdDev(sppb));
+  // SPPB histogram 0..12.
+  std::vector<int64_t> h(13, 0);
+  for (double v : sppb) h[(size_t)v]++;
+  for (int i = 0; i <= 12; ++i) std::printf("sppb[%d]=%lld ", i, (long long)h[(size_t)i]);
+  std::printf("\n");
+  std::vector<int64_t> hq(10, 0);
+  for (double v : sets->dd.labels()) hq[std::min(9, (int)(v * 10))]++;
+  for (int i = 0; i < 10; ++i) std::printf("qol[0.%d]=%lld ", i, (long long)hq[(size_t)i]);
+  std::printf("\n");
+  return 0;
+}

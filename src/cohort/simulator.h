@@ -1,0 +1,50 @@
+#ifndef MYSAWH_COHORT_SIMULATOR_H_
+#define MYSAWH_COHORT_SIMULATOR_H_
+
+#include "cohort/cohort.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mysawh::cohort {
+
+/// Generates a synthetic MySAwH-like cohort.
+///
+/// Generative model (per patient):
+///  1. A hidden frailty latent F ~ Beta(2.2, 3.5).
+///  2. Five IC-domain capacities D_d(m) in [0, 1], initialized from F plus
+///     idiosyncratic variation, evolving month to month as a slowly
+///     declining random walk.
+///  3. 56 weekly PRO answers: each question reads its domain's capacity
+///     through a per-question link (linear / saturating / threshold),
+///     reverse-coding, clinic protocol shift, observation noise, and
+///     ordinal quantization to 1..levels.
+///  4. Daily activity: steps driven by locomotion and frailty, calories by
+///     steps and vitality, sleep by the psychological domain.
+///  5. 37 clinical deficits at each visit, Bernoulli in the frailty and
+///     mean capacity — the Frailty Index inputs.
+///  6. Outcomes (QoL, SPPB, Falls) at the end of each 9-month window from
+///     the latent state (OutcomeModelParams), NOT from the observed
+///     answers, so observations are noisy views of the signal.
+///  7. Missingness: gap runs injected into every PRO series (length
+///     distribution matched to the paper's QA: mean ~5, capped at 17), a
+///     low-adherence patient subgroup, and missing wearable days.
+///
+/// Everything is deterministic given CohortConfig::seed; per-patient RNG
+/// streams are forked so patients are independent of generation order.
+class CohortSimulator {
+ public:
+  explicit CohortSimulator(CohortConfig config);
+
+  /// Generates the full cohort, or fails on invalid configuration.
+  Result<Cohort> Generate() const;
+
+ private:
+  PatientData GeneratePatient(int64_t patient_id, int clinic_index,
+                              const ProQuestionBank& bank, Rng* rng) const;
+
+  CohortConfig config_;
+};
+
+}  // namespace mysawh::cohort
+
+#endif  // MYSAWH_COHORT_SIMULATOR_H_

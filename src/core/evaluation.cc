@@ -1,0 +1,195 @@
+#include "core/evaluation.h"
+
+#include <cmath>
+
+#include "data/split.h"
+#include "util/rng.h"
+
+namespace mysawh::core {
+
+const char* ApproachName(Approach approach) {
+  return approach == Approach::kDataDriven ? "DD" : "KD";
+}
+
+double ExperimentResult::HeadlineMetric() const {
+  return is_classification ? test_classification.accuracy
+                           : test_regression.one_minus_mape;
+}
+
+gbt::GbtParams DefaultGbtParams(Outcome outcome, Approach approach) {
+  gbt::GbtParams params;
+  params.tree_method = gbt::TreeMethod::kHist;
+  params.learning_rate = 0.07;
+  params.num_trees = 300;
+  params.subsample = 0.9;
+  params.reg_lambda = 1.0;
+  params.seed = 7;
+  if (approach == Approach::kDataDriven) {
+    params.max_depth = 4;
+    params.colsample_bytree = 0.8;
+    params.min_samples_leaf = 4;
+  } else {
+    // KD models see only the 1-2 index features.
+    params.max_depth = 3;
+    params.colsample_bytree = 1.0;
+    params.min_samples_leaf = 8;
+  }
+  if (IsClassification(outcome)) {
+    // Vanilla logistic boosting, as the paper's XGBoost setup: no class
+    // weighting (GbtParams::scale_pos_weight is available for users who
+    // want to trade precision for minority recall).
+    params.objective = gbt::ObjectiveType::kLogistic;
+  } else {
+    params.objective = gbt::ObjectiveType::kSquaredError;
+  }
+  return params;
+}
+
+namespace {
+
+/// Mean of per-fold regression metrics.
+RegressionMetrics MeanRegression(const std::vector<RegressionMetrics>& folds) {
+  RegressionMetrics mean;
+  if (folds.empty()) return mean;
+  for (const auto& f : folds) {
+    mean.mae += f.mae;
+    mean.rmse += f.rmse;
+    mean.mape += f.mape;
+    mean.n += f.n;
+    mean.mape_skipped += f.mape_skipped;
+  }
+  const auto k = static_cast<double>(folds.size());
+  mean.mae /= k;
+  mean.rmse /= k;
+  mean.mape /= k;
+  mean.one_minus_mape = 1.0 - mean.mape;
+  return mean;
+}
+
+/// Mean of per-fold classification metrics (ratios averaged, counts summed).
+ClassificationMetrics MeanClassification(
+    const std::vector<ClassificationMetrics>& folds) {
+  ClassificationMetrics mean;
+  if (folds.empty()) return mean;
+  for (const auto& f : folds) {
+    mean.tp += f.tp;
+    mean.fp += f.fp;
+    mean.tn += f.tn;
+    mean.fn += f.fn;
+    mean.accuracy += f.accuracy;
+    mean.precision_true += f.precision_true;
+    mean.precision_false += f.precision_false;
+    mean.recall_true += f.recall_true;
+    mean.recall_false += f.recall_false;
+    mean.f1_true += f.f1_true;
+    mean.f1_false += f.f1_false;
+  }
+  const auto k = static_cast<double>(folds.size());
+  mean.accuracy /= k;
+  mean.precision_true /= k;
+  mean.precision_false /= k;
+  mean.recall_true /= k;
+  mean.recall_false /= k;
+  mean.f1_true /= k;
+  mean.f1_false /= k;
+  return mean;
+}
+
+}  // namespace
+
+Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,
+                                       Approach approach, bool with_fi,
+                                       const gbt::GbtParams& params,
+                                       const EvalProtocol& protocol) {
+  if (samples.num_rows() < 10) {
+    return Status::InvalidArgument("experiment needs at least 10 samples");
+  }
+  if (protocol.cv_folds < 2) {
+    return Status::InvalidArgument("cv_folds must be >= 2");
+  }
+  MYSAWH_RETURN_NOT_OK(params.Validate());
+
+  ExperimentResult result;
+  result.outcome = outcome;
+  result.approach = approach;
+  result.with_fi = with_fi;
+  result.is_classification = IsClassification(outcome);
+
+  Rng rng(protocol.seed);
+  TrainTestIndices split;
+  if (result.is_classification) {
+    MYSAWH_ASSIGN_OR_RETURN(
+        split,
+        StratifiedTrainTestSplit(samples.labels(), protocol.test_fraction,
+                                 &rng));
+  } else {
+    MYSAWH_ASSIGN_OR_RETURN(
+        split, TrainTestSplit(samples.num_rows(), protocol.test_fraction,
+                              &rng));
+  }
+  MYSAWH_ASSIGN_OR_RETURN(result.train, samples.Take(split.train));
+  MYSAWH_ASSIGN_OR_RETURN(result.test, samples.Take(split.test));
+
+  // K-fold CV on the train partition.
+  std::vector<Fold> folds;
+  if (result.is_classification) {
+    MYSAWH_ASSIGN_OR_RETURN(
+        folds,
+        StratifiedKFoldSplit(result.train.labels(), protocol.cv_folds, &rng));
+  } else {
+    MYSAWH_ASSIGN_OR_RETURN(
+        folds, KFoldSplit(result.train.num_rows(), protocol.cv_folds, &rng));
+  }
+  std::vector<RegressionMetrics> fold_reg;
+  std::vector<ClassificationMetrics> fold_cls;
+  for (const Fold& fold : folds) {
+    MYSAWH_ASSIGN_OR_RETURN(Dataset fold_train,
+                            result.train.Take(fold.train));
+    MYSAWH_ASSIGN_OR_RETURN(Dataset fold_valid,
+                            result.train.Take(fold.validation));
+    MYSAWH_ASSIGN_OR_RETURN(gbt::GbtModel model,
+                            gbt::GbtModel::Train(fold_train, params));
+    MYSAWH_ASSIGN_OR_RETURN(std::vector<double> preds,
+                            model.Predict(fold_valid));
+    if (result.is_classification) {
+      MYSAWH_ASSIGN_OR_RETURN(
+          ClassificationMetrics m,
+          ComputeClassificationMetrics(fold_valid.labels(), preds,
+                                       protocol.decision_threshold));
+      fold_cls.push_back(m);
+    } else {
+      MYSAWH_ASSIGN_OR_RETURN(
+          RegressionMetrics m,
+          ComputeRegressionMetrics(fold_valid.labels(), preds));
+      fold_reg.push_back(m);
+    }
+  }
+  result.cv_regression = MeanRegression(fold_reg);
+  result.cv_classification = MeanClassification(fold_cls);
+
+  // Final model on all train rows, evaluated on the held-out test rows.
+  MYSAWH_ASSIGN_OR_RETURN(result.model,
+                          gbt::GbtModel::Train(result.train, params));
+  MYSAWH_ASSIGN_OR_RETURN(std::vector<double> test_preds,
+                          result.model.Predict(result.test));
+  if (result.is_classification) {
+    MYSAWH_ASSIGN_OR_RETURN(
+        result.test_classification,
+        ComputeClassificationMetrics(result.test.labels(), test_preds,
+                                     protocol.decision_threshold));
+  } else {
+    MYSAWH_ASSIGN_OR_RETURN(
+        result.test_regression,
+        ComputeRegressionMetrics(result.test.labels(), test_preds));
+  }
+  return result;
+}
+
+Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,
+                                       Approach approach, bool with_fi,
+                                       const EvalProtocol& protocol) {
+  return RunExperiment(samples, outcome, approach, with_fi,
+                       DefaultGbtParams(outcome, approach), protocol);
+}
+
+}  // namespace mysawh::core

@@ -1,0 +1,79 @@
+#ifndef MYSAWH_CORE_EVALUATION_H_
+#define MYSAWH_CORE_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/outcomes.h"
+#include "data/dataset.h"
+#include "gbt/gbt_model.h"
+#include "util/status.h"
+
+namespace mysawh::core {
+
+/// Which learning framework a result belongs to (Fig 3's two sides).
+enum class Approach {
+  kDataDriven,       ///< GBT on the raw PRO + activity features.
+  kKnowledgeDriven,  ///< GBT on the manually built ICI (+ FI).
+};
+/// "DD" / "KD".
+const char* ApproachName(Approach approach);
+
+/// Train/test and cross-validation protocol, mirroring the paper: standard
+/// KFold CV on 80% of the samples and a test phase on the remaining 20%.
+struct EvalProtocol {
+  double test_fraction = 0.2;
+  int cv_folds = 5;
+  uint64_t seed = 1234;
+  /// Classification probability cutoff.
+  double decision_threshold = 0.5;
+};
+
+/// Everything produced by one experiment cell (one outcome x approach x
+/// FI-usage): test metrics, CV-mean metrics, the final model, and the
+/// train/test partitions (retained so SHAP analyses can run on exactly the
+/// evaluation data).
+struct ExperimentResult {
+  Outcome outcome = Outcome::kQol;
+  Approach approach = Approach::kDataDriven;
+  bool with_fi = false;
+
+  bool is_classification = false;
+  RegressionMetrics test_regression;      ///< Valid when regression.
+  ClassificationMetrics test_classification;  ///< Valid when classification.
+  RegressionMetrics cv_regression;        ///< Fold means.
+  ClassificationMetrics cv_classification;
+
+  gbt::GbtModel model;  ///< Trained on the 80% train partition.
+  Dataset train;
+  Dataset test;
+
+  /// The headline scalar of Fig 4: 1-MAPE for regression, accuracy for
+  /// classification.
+  double HeadlineMetric() const;
+};
+
+/// Default booster hyperparameters for one outcome/approach cell. KD models
+/// see only 1-2 features and use shallower trees; Falls uses the logistic
+/// objective with a class-imbalance weight.
+gbt::GbtParams DefaultGbtParams(Outcome outcome, Approach approach);
+
+/// Runs one experiment cell on a sample set (pass SampleSets::dd, dd_fi,
+/// kd or kd_fi; `approach`/`with_fi` are recorded as metadata): splits
+/// 80/20 (stratified for Falls), K-fold cross-validates on the train side,
+/// trains the final model on all train rows, and evaluates on the test
+/// side.
+Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,
+                                       Approach approach, bool with_fi,
+                                       const gbt::GbtParams& params,
+                                       const EvalProtocol& protocol);
+
+/// Convenience overload using DefaultGbtParams.
+Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,
+                                       Approach approach, bool with_fi,
+                                       const EvalProtocol& protocol);
+
+}  // namespace mysawh::core
+
+#endif  // MYSAWH_CORE_EVALUATION_H_

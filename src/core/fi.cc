@@ -1,0 +1,30 @@
+#include "core/fi.h"
+
+namespace mysawh::core {
+
+Result<double> ComputeFrailtyIndex(const std::vector<double>& deficits) {
+  if (deficits.empty()) {
+    return Status::InvalidArgument("FI needs at least one deficit variable");
+  }
+  double sum = 0.0;
+  for (double d : deficits) {
+    if (d < 0.0 || d > 1.0) {
+      return Status::InvalidArgument("deficit codes must be in [0, 1]");
+    }
+    sum += d;
+  }
+  return sum / static_cast<double>(deficits.size());
+}
+
+Result<std::vector<double>> PatientFrailtyTrajectory(
+    const cohort::PatientData& patient) {
+  std::vector<double> out;
+  out.reserve(patient.deficits_at_visit.size());
+  for (const auto& deficits : patient.deficits_at_visit) {
+    MYSAWH_ASSIGN_OR_RETURN(double fi, ComputeFrailtyIndex(deficits));
+    out.push_back(fi);
+  }
+  return out;
+}
+
+}  // namespace mysawh::core

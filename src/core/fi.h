@@ -1,0 +1,23 @@
+#ifndef MYSAWH_CORE_FI_H_
+#define MYSAWH_CORE_FI_H_
+
+#include <vector>
+
+#include "cohort/cohort.h"
+#include "util/status.h"
+
+namespace mysawh::core {
+
+/// Computes a Frailty Index from a visit's deficit vector following the
+/// standard accumulation-of-deficits procedure (Searle et al. 2008, the
+/// paper's reference [22]): the proportion of deficits present, each coded
+/// in [0, 1]. Fails on an empty vector or out-of-range codes.
+Result<double> ComputeFrailtyIndex(const std::vector<double>& deficits);
+
+/// FI at each visit of a patient (one value per visit: months 0, 9, ...).
+Result<std::vector<double>> PatientFrailtyTrajectory(
+    const cohort::PatientData& patient);
+
+}  // namespace mysawh::core
+
+#endif  // MYSAWH_CORE_FI_H_

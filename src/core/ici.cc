@@ -1,0 +1,98 @@
+#include "core/ici.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mysawh::core {
+
+using cohort::IcDomain;
+using cohort::ProQuestionBank;
+
+IntrinsicCapacityIndex::IntrinsicCapacityIndex(
+    std::vector<IciVariableSpec> variables)
+    : variables_(std::move(variables)) {}
+
+Result<IntrinsicCapacityIndex> IntrinsicCapacityIndex::StandardMySawh(
+    const ProQuestionBank& bank) {
+  std::vector<IciVariableSpec> specs;
+  for (int d = 0; d < cohort::kNumDomains; ++d) {
+    const auto domain = static_cast<IcDomain>(d);
+    const std::vector<int> indices = bank.DomainQuestions(domain);
+    if (indices.size() < 2) {
+      return Status::InvalidArgument(
+          "ICI needs at least two questions per domain");
+    }
+    // The clinician picks the first two items of each domain.
+    for (int pick = 0; pick < 2; ++pick) {
+      const auto& q = bank.question(indices[static_cast<size_t>(pick)]);
+      IciVariableSpec spec;
+      spec.variable = q.name;
+      spec.domain = domain;
+      if (q.name == cohort::kStressQuestionName) {
+        // The paper's worked example: stress (1..10) scores 1 when the
+        // value is lower than 3.
+        spec.kind = IciScoreKind::kBinaryBelow;
+        spec.cutoff = 3.0;
+      } else if (q.reversed) {
+        spec.kind = IciScoreKind::kBinaryBelow;
+        spec.cutoff = std::ceil((1.0 + q.levels) / 2.0);
+      } else {
+        spec.kind = IciScoreKind::kBinaryAtLeast;
+        spec.cutoff = std::ceil((1.0 + q.levels) / 2.0);
+      }
+      specs.push_back(std::move(spec));
+    }
+  }
+  // Graded daily-steps variable for locomotion ("number of steps per day"
+  // is the paper's example of a [0, 1]-range score).
+  IciVariableSpec steps;
+  steps.variable = "act_steps";
+  steps.kind = IciScoreKind::kGraded;
+  steps.lo = 0.0;
+  steps.hi = 10000.0;
+  steps.domain = IcDomain::kLocomotion;
+  specs.push_back(std::move(steps));
+  return IntrinsicCapacityIndex(std::move(specs));
+}
+
+std::vector<std::string> IntrinsicCapacityIndex::VariableNames() const {
+  std::vector<std::string> names;
+  names.reserve(variables_.size());
+  for (const auto& spec : variables_) names.push_back(spec.variable);
+  return names;
+}
+
+double IntrinsicCapacityIndex::ScoreVariable(const IciVariableSpec& spec,
+                                             double value) const {
+  if (std::isnan(value)) return std::numeric_limits<double>::quiet_NaN();
+  switch (spec.kind) {
+    case IciScoreKind::kBinaryAtLeast:
+      return value >= spec.cutoff ? 1.0 : 0.0;
+    case IciScoreKind::kBinaryBelow:
+      return value < spec.cutoff ? 1.0 : 0.0;
+    case IciScoreKind::kGraded: {
+      if (spec.hi <= spec.lo) return 0.0;
+      return std::min(1.0,
+                      std::max(0.0, (value - spec.lo) / (spec.hi - spec.lo)));
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+double IntrinsicCapacityIndex::Compute(
+    const std::vector<double>& values) const {
+  double sum = 0.0;
+  int64_t present = 0;
+  const size_t n = std::min(values.size(), variables_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double score = ScoreVariable(variables_[i], values[i]);
+    if (std::isnan(score)) continue;
+    sum += score;
+    ++present;
+  }
+  if (present == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum / static_cast<double>(present);
+}
+
+}  // namespace mysawh::core

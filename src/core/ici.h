@@ -1,0 +1,68 @@
+#ifndef MYSAWH_CORE_ICI_H_
+#define MYSAWH_CORE_ICI_H_
+
+#include <string>
+#include <vector>
+
+#include "cohort/pro_questions.h"
+#include "util/status.h"
+
+namespace mysawh::core {
+
+/// How one manually chosen variable is scored inside the ICI.
+enum class IciScoreKind {
+  kBinaryAtLeast,  ///< 1 when value >= cutoff (capacity-coded items).
+  kBinaryBelow,    ///< 1 when value < cutoff (deficit-coded items, e.g.
+                   ///< "stress level scored 1 if lower than 3").
+  kGraded,         ///< clamp((value - lo) / (hi - lo)) in [0, 1]
+                   ///< (e.g. daily steps).
+};
+
+/// One variable of the knowledge-driven index: the clinician's choice of
+/// variable, scoring rule, and cutoff.
+struct IciVariableSpec {
+  std::string variable;  ///< Feature name (PRO question or activity metric).
+  IciScoreKind kind = IciScoreKind::kBinaryAtLeast;
+  double cutoff = 0.0;   ///< For the binary kinds.
+  double lo = 0.0;       ///< For kGraded.
+  double hi = 1.0;       ///< For kGraded.
+  /// The IC domain this variable represents.
+  cohort::IcDomain domain = cohort::IcDomain::kLocomotion;
+};
+
+/// The knowledge-driven Intrinsic Capacity Index: a manually selected
+/// subset V of the PRO/activity variables, a per-variable score s_i(x), and
+/// ICI = sum_i s_i(x_i) / |V| — exactly the paper's Section 4 construction,
+/// including its stated bias: the physician's choice of variables, cutoffs
+/// and arithmetic is imposed on the data.
+class IntrinsicCapacityIndex {
+ public:
+  /// Builds an index over an explicit variable list.
+  explicit IntrinsicCapacityIndex(std::vector<IciVariableSpec> variables);
+
+  /// The reference MySAwH-style definition over the standard question bank:
+  /// two questions per IC domain (including the stress question cut at 3,
+  /// the paper's example) plus graded daily steps for locomotion.
+  static Result<IntrinsicCapacityIndex> StandardMySawh(
+      const cohort::ProQuestionBank& bank);
+
+  const std::vector<IciVariableSpec>& variables() const { return variables_; }
+
+  /// Names of the variables the index consumes, in spec order.
+  std::vector<std::string> VariableNames() const;
+
+  /// Scores one variable value (NaN input yields NaN).
+  double ScoreVariable(const IciVariableSpec& spec, double value) const;
+
+  /// Computes the index over variable values aligned with variables().
+  /// Missing (NaN) values are skipped and the sum renormalized by the
+  /// number of present variables; returns NaN when everything is missing.
+  double Compute(const std::vector<double>& values) const;
+
+ private:
+  std::vector<IciVariableSpec> variables_;
+};
+
+}  // namespace mysawh::core
+
+#endif  // MYSAWH_CORE_ICI_H_

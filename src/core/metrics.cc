@@ -1,0 +1,230 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace mysawh::core {
+
+std::string RegressionMetrics::ToString() const {
+  std::ostringstream os;
+  os << "mae=" << FormatDouble(mae, 4) << " rmse=" << FormatDouble(rmse, 4)
+     << " 1-MAPE=" << FormatPercent(one_minus_mape, 1) << " (n=" << n << ")";
+  return os.str();
+}
+
+Result<RegressionMetrics> ComputeRegressionMetrics(
+    const std::vector<double>& labels,
+    const std::vector<double>& predictions) {
+  if (labels.size() != predictions.size()) {
+    return Status::InvalidArgument("metrics inputs differ in length");
+  }
+  if (labels.empty()) {
+    return Status::InvalidArgument("metrics need at least one sample");
+  }
+  RegressionMetrics m;
+  m.n = static_cast<int64_t>(labels.size());
+  double abs_sum = 0.0, sq_sum = 0.0, ape_sum = 0.0;
+  int64_t ape_n = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const double err = labels[i] - predictions[i];
+    abs_sum += std::abs(err);
+    sq_sum += err * err;
+    if (std::abs(labels[i]) > 1e-12) {
+      ape_sum += std::abs(err / labels[i]);
+      ++ape_n;
+    } else {
+      ++m.mape_skipped;
+    }
+  }
+  m.mae = abs_sum / static_cast<double>(m.n);
+  m.rmse = std::sqrt(sq_sum / static_cast<double>(m.n));
+  m.mape = ape_n > 0 ? ape_sum / static_cast<double>(ape_n) : 0.0;
+  m.one_minus_mape = 1.0 - m.mape;
+  return m;
+}
+
+std::string ClassificationMetrics::ToString() const {
+  std::ostringstream os;
+  os << "acc=" << FormatPercent(accuracy, 1)
+     << " P(T)=" << FormatPercent(precision_true, 1)
+     << " P(F)=" << FormatPercent(precision_false, 1)
+     << " R(T)=" << FormatPercent(recall_true, 1)
+     << " R(F)=" << FormatPercent(recall_false, 1)
+     << " F1(T)=" << FormatPercent(f1_true, 1)
+     << " F1(F)=" << FormatPercent(f1_false, 1);
+  return os.str();
+}
+
+Result<ClassificationMetrics> ComputeClassificationMetrics(
+    const std::vector<double>& labels,
+    const std::vector<double>& probabilities, double threshold) {
+  if (labels.size() != probabilities.size()) {
+    return Status::InvalidArgument("metrics inputs differ in length");
+  }
+  if (labels.empty()) {
+    return Status::InvalidArgument("metrics need at least one sample");
+  }
+  ClassificationMetrics m;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] != 0.0 && labels[i] != 1.0) {
+      return Status::InvalidArgument("classification labels must be 0 or 1");
+    }
+    const bool actual = labels[i] > 0.5;
+    const bool predicted = probabilities[i] >= threshold;
+    if (actual && predicted) ++m.tp;
+    if (!actual && predicted) ++m.fp;
+    if (!actual && !predicted) ++m.tn;
+    if (actual && !predicted) ++m.fn;
+  }
+  const auto safe_div = [](double num, double den) {
+    return den > 0.0 ? num / den : 0.0;
+  };
+  const double total = static_cast<double>(m.tp + m.fp + m.tn + m.fn);
+  m.accuracy = safe_div(static_cast<double>(m.tp + m.tn), total);
+  m.precision_true = safe_div(static_cast<double>(m.tp),
+                              static_cast<double>(m.tp + m.fp));
+  m.recall_true =
+      safe_div(static_cast<double>(m.tp), static_cast<double>(m.tp + m.fn));
+  m.precision_false = safe_div(static_cast<double>(m.tn),
+                               static_cast<double>(m.tn + m.fn));
+  m.recall_false =
+      safe_div(static_cast<double>(m.tn), static_cast<double>(m.tn + m.fp));
+  m.f1_true = safe_div(2.0 * m.precision_true * m.recall_true,
+                       m.precision_true + m.recall_true);
+  m.f1_false = safe_div(2.0 * m.precision_false * m.recall_false,
+                        m.precision_false + m.recall_false);
+  return m;
+}
+
+Result<double> BrierScore(const std::vector<double>& labels,
+                          const std::vector<double>& probabilities) {
+  if (labels.size() != probabilities.size()) {
+    return Status::InvalidArgument("BrierScore inputs differ in length");
+  }
+  if (labels.empty()) {
+    return Status::InvalidArgument("BrierScore needs at least one sample");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] != 0.0 && labels[i] != 1.0) {
+      return Status::InvalidArgument("BrierScore labels must be 0 or 1");
+    }
+    const double d = probabilities[i] - labels[i];
+    total += d * d;
+  }
+  return total / static_cast<double>(labels.size());
+}
+
+Result<std::vector<CalibrationBin>> ComputeCalibrationBins(
+    const std::vector<double>& labels,
+    const std::vector<double>& probabilities, int num_bins) {
+  if (labels.size() != probabilities.size()) {
+    return Status::InvalidArgument("calibration inputs differ in length");
+  }
+  if (labels.empty()) {
+    return Status::InvalidArgument("calibration needs at least one sample");
+  }
+  if (num_bins < 1) {
+    return Status::InvalidArgument("num_bins must be >= 1");
+  }
+  std::vector<double> pred_sum(static_cast<size_t>(num_bins), 0.0);
+  std::vector<double> label_sum(static_cast<size_t>(num_bins), 0.0);
+  std::vector<int64_t> count(static_cast<size_t>(num_bins), 0);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] != 0.0 && labels[i] != 1.0) {
+      return Status::InvalidArgument("calibration labels must be 0 or 1");
+    }
+    const double p = probabilities[i];
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("probabilities must be in [0, 1]");
+    }
+    auto bin = static_cast<size_t>(p * num_bins);
+    bin = std::min(bin, static_cast<size_t>(num_bins) - 1);
+    pred_sum[bin] += p;
+    label_sum[bin] += labels[i];
+    ++count[bin];
+  }
+  std::vector<CalibrationBin> bins;
+  for (int b = 0; b < num_bins; ++b) {
+    const auto bi = static_cast<size_t>(b);
+    if (count[bi] == 0) continue;
+    bins.push_back({pred_sum[bi] / static_cast<double>(count[bi]),
+                    label_sum[bi] / static_cast<double>(count[bi]),
+                    count[bi]});
+  }
+  return bins;
+}
+
+Result<double> RocAuc(const std::vector<double>& labels,
+                      const std::vector<double>& scores) {
+  if (labels.size() != scores.size()) {
+    return Status::InvalidArgument("RocAuc inputs differ in length");
+  }
+  if (labels.empty()) {
+    return Status::InvalidArgument("RocAuc needs at least one sample");
+  }
+  std::vector<size_t> order(labels.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  // Average ranks over tied score groups.
+  std::vector<double> ranks(labels.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double avg_rank = (static_cast<double>(i) +
+                             static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double rank_sum_pos = 0.0;
+  int64_t num_pos = 0, num_neg = 0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1.0) {
+      rank_sum_pos += ranks[k];
+      ++num_pos;
+    } else if (labels[k] == 0.0) {
+      ++num_neg;
+    } else {
+      return Status::InvalidArgument("RocAuc labels must be 0 or 1");
+    }
+  }
+  if (num_pos == 0 || num_neg == 0) {
+    return Status::InvalidArgument("RocAuc needs both classes present");
+  }
+  const double u = rank_sum_pos -
+                   static_cast<double>(num_pos) *
+                       (static_cast<double>(num_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+Result<std::vector<std::pair<int64_t, double>>> PerGroupMae(
+    const std::vector<double>& labels, const std::vector<double>& predictions,
+    const std::vector<int64_t>& patients) {
+  if (labels.size() != predictions.size() ||
+      labels.size() != patients.size()) {
+    return Status::InvalidArgument("PerGroupMae inputs differ in length");
+  }
+  std::map<int64_t, std::pair<double, int64_t>> acc;  // sum, count
+  for (size_t i = 0; i < labels.size(); ++i) {
+    auto& entry = acc[patients[i]];
+    entry.first += std::abs(labels[i] - predictions[i]);
+    ++entry.second;
+  }
+  std::vector<std::pair<int64_t, double>> out;
+  out.reserve(acc.size());
+  for (const auto& [patient, entry] : acc) {
+    out.emplace_back(patient, entry.first / static_cast<double>(entry.second));
+  }
+  return out;
+}
+
+}  // namespace mysawh::core

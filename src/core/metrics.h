@@ -1,0 +1,88 @@
+#ifndef MYSAWH_CORE_METRICS_H_
+#define MYSAWH_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mysawh::core {
+
+/// Regression error metrics. 1-MAPE is what the paper's Fig 4 / Table 1
+/// report for QoL and SPPB.
+struct RegressionMetrics {
+  double mae = 0.0;
+  double rmse = 0.0;
+  /// Mean absolute percentage error over samples with a nonzero label
+  /// (zero-label samples are excluded and counted in `mape_skipped`).
+  double mape = 0.0;
+  double one_minus_mape = 0.0;
+  int64_t n = 0;
+  int64_t mape_skipped = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes regression metrics; inputs must be equal-length and non-empty.
+Result<RegressionMetrics> ComputeRegressionMetrics(
+    const std::vector<double>& labels, const std::vector<double>& predictions);
+
+/// Binary classification effectiveness at a probability threshold, with
+/// per-class precision/recall/F1 exactly as the paper's Fig 4 reports for
+/// Falls (True = fell, the minority class).
+struct ClassificationMetrics {
+  int64_t tp = 0, fp = 0, tn = 0, fn = 0;
+  double accuracy = 0.0;
+  double precision_true = 0.0;
+  double precision_false = 0.0;
+  double recall_true = 0.0;
+  double recall_false = 0.0;
+  double f1_true = 0.0;
+  double f1_false = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes classification metrics from probabilities; labels must be in
+/// {0, 1}. Empty-denominator ratios are reported as 0.
+Result<ClassificationMetrics> ComputeClassificationMetrics(
+    const std::vector<double>& labels, const std::vector<double>& probabilities,
+    double threshold = 0.5);
+
+/// Mean squared error of predicted probabilities against binary outcomes
+/// (lower is better; 0.25 = uninformative constant 0.5).
+Result<double> BrierScore(const std::vector<double>& labels,
+                          const std::vector<double>& probabilities);
+
+/// One bin of a reliability (calibration) diagram.
+struct CalibrationBin {
+  double mean_predicted = 0.0;  ///< Mean predicted probability in the bin.
+  double observed_rate = 0.0;   ///< Empirical positive rate in the bin.
+  int64_t count = 0;
+};
+
+/// Bins predictions into `num_bins` equal-width probability intervals and
+/// reports mean prediction vs observed rate per non-empty bin — a
+/// well-calibrated model has the two near-equal. Labels in {0, 1};
+/// probabilities in [0, 1].
+Result<std::vector<CalibrationBin>> ComputeCalibrationBins(
+    const std::vector<double>& labels,
+    const std::vector<double>& probabilities, int num_bins = 10);
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) statistic with
+/// average ranks for tied scores. Labels must be in {0, 1} with both
+/// classes present. 0.5 = chance, 1.0 = perfect ranking.
+Result<double> RocAuc(const std::vector<double>& labels,
+                      const std::vector<double>& scores);
+
+/// Per-patient mean absolute error: groups rows by `patients` and averages
+/// |label - prediction| within each group. Returns (patient id, MAE) pairs
+/// ordered by patient id. Used for the paper's Fig 5 box plots.
+Result<std::vector<std::pair<int64_t, double>>> PerGroupMae(
+    const std::vector<double>& labels, const std::vector<double>& predictions,
+    const std::vector<int64_t>& patients);
+
+}  // namespace mysawh::core
+
+#endif  // MYSAWH_CORE_METRICS_H_

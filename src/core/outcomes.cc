@@ -1,0 +1,38 @@
+#include "core/outcomes.h"
+
+namespace mysawh::core {
+
+const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kQol:
+      return "QoL";
+    case Outcome::kSppb:
+      return "SPPB";
+    case Outcome::kFalls:
+      return "Falls";
+  }
+  return "unknown";
+}
+
+Result<Outcome> ParseOutcome(const std::string& name) {
+  if (name == "QoL") return Outcome::kQol;
+  if (name == "SPPB") return Outcome::kSppb;
+  if (name == "Falls") return Outcome::kFalls;
+  return Status::InvalidArgument("unknown outcome: " + name);
+}
+
+bool IsClassification(Outcome outcome) { return outcome == Outcome::kFalls; }
+
+double OutcomeLabel(const cohort::VisitOutcomes& visit, Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kQol:
+      return visit.qol;
+    case Outcome::kSppb:
+      return static_cast<double>(visit.sppb);
+    case Outcome::kFalls:
+      return visit.falls ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace mysawh::core

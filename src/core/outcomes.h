@@ -1,0 +1,30 @@
+#ifndef MYSAWH_CORE_OUTCOMES_H_
+#define MYSAWH_CORE_OUTCOMES_H_
+
+#include <string>
+
+#include "cohort/cohort.h"
+#include "util/status.h"
+
+namespace mysawh::core {
+
+/// The three wellness outcomes the paper predicts.
+enum class Outcome {
+  kQol,    ///< Quality of Life, regression on [0, 1].
+  kSppb,   ///< Short Physical Performance Battery, regression on 0..12.
+  kFalls,  ///< Fell during the window, binary classification.
+};
+
+/// "QoL" / "SPPB" / "Falls".
+const char* OutcomeName(Outcome outcome);
+/// Parses an outcome name (case-sensitive).
+Result<Outcome> ParseOutcome(const std::string& name);
+/// True for Falls.
+bool IsClassification(Outcome outcome);
+
+/// Extracts the label for one outcome from a visit's assessments.
+double OutcomeLabel(const cohort::VisitOutcomes& visit, Outcome outcome);
+
+}  // namespace mysawh::core
+
+#endif  // MYSAWH_CORE_OUTCOMES_H_

@@ -1,0 +1,176 @@
+#include "core/sample_builder.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/fi.h"
+#include "series/aggregation.h"
+#include "series/interpolation.h"
+
+namespace mysawh::core {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+SampleSetBuilder::SampleSetBuilder(const cohort::Cohort* cohort,
+                                   SampleBuildOptions options,
+                                   IntrinsicCapacityIndex ici)
+    : cohort_(cohort), options_(options), ici_(std::move(ici)) {}
+
+Result<SampleSetBuilder> SampleSetBuilder::Create(const cohort::Cohort* cohort,
+                                                  SampleBuildOptions options) {
+  if (cohort == nullptr) {
+    return Status::InvalidArgument("SampleSetBuilder: null cohort");
+  }
+  if (options.max_interpolation_gap < 0) {
+    return Status::InvalidArgument("max_interpolation_gap must be >= 0");
+  }
+  if (options.max_missing_fraction < 0.0 ||
+      options.max_missing_fraction > 1.0) {
+    return Status::InvalidArgument("max_missing_fraction must be in [0,1]");
+  }
+  MYSAWH_ASSIGN_OR_RETURN(
+      IntrinsicCapacityIndex ici,
+      IntrinsicCapacityIndex::StandardMySawh(cohort->questions));
+  SampleSetBuilder builder(cohort, options, std::move(ici));
+  builder.dd_feature_names_ = cohort->questions.Names();
+  builder.dd_feature_names_.push_back(kStepsFeature);
+  builder.dd_feature_names_.push_back(kCaloriesFeature);
+  builder.dd_feature_names_.push_back(kSleepFeature);
+  // Map the ICI's variables onto DD feature columns once.
+  for (const auto& name : builder.ici_.VariableNames()) {
+    int found = -1;
+    for (size_t i = 0; i < builder.dd_feature_names_.size(); ++i) {
+      if (builder.dd_feature_names_[i] == name) {
+        found = static_cast<int>(i);
+        break;
+      }
+    }
+    if (found < 0) {
+      return Status::InvalidArgument("ICI variable not in feature space: " +
+                                     name);
+    }
+    builder.ici_feature_indices_.push_back(found);
+  }
+  return builder;
+}
+
+Result<SampleSets> SampleSetBuilder::Build(Outcome outcome) const {
+  const auto& config = cohort_->config;
+  const int num_questions = static_cast<int>(cohort_->questions.size());
+  const int num_features = num_questions + 3;
+
+  SampleSets sets;
+  sets.outcome = outcome;
+  sets.dd = Dataset::Create(dd_feature_names_);
+  auto fi_names = dd_feature_names_;
+  fi_names.push_back(kFiFeature);
+  sets.dd_fi = Dataset::Create(fi_names);
+  sets.kd = Dataset::Create({"ici"});
+  sets.kd_fi = Dataset::Create({"ici", kFiFeature});
+
+  std::vector<int64_t> attr_patient, attr_clinic, attr_window, attr_month;
+
+  for (const auto& patient : cohort_->patients) {
+    // 1. Interpolate weekly PRO series (bounded) and track gap statistics.
+    std::vector<TimeSeries> weekly = patient.pro_weekly;
+    for (auto& series : weekly) {
+      sets.gap_stats_raw.Merge(ComputeGapStats(series));
+      MYSAWH_RETURN_NOT_OK(
+          ImputeMaxGap(&series, options_.max_interpolation_gap,
+                       options_.imputation)
+              .status());
+      sets.gap_stats_after.Merge(ComputeGapStats(series));
+    }
+    // 2. Monthly aggregation.
+    std::vector<TimeSeries> monthly_pro;
+    monthly_pro.reserve(weekly.size());
+    for (const auto& series : weekly) {
+      MYSAWH_ASSIGN_OR_RETURN(
+          TimeSeries monthly,
+          AggregateByPeriod(series, config.weeks_per_month,
+                            AggregateOp::kMean));
+      monthly_pro.push_back(std::move(monthly));
+    }
+    MYSAWH_ASSIGN_OR_RETURN(
+        TimeSeries monthly_steps,
+        AggregateByPeriod(patient.steps_daily, config.days_per_month,
+                          AggregateOp::kMean));
+    MYSAWH_ASSIGN_OR_RETURN(
+        TimeSeries monthly_calories,
+        AggregateByPeriod(patient.calories_daily, config.days_per_month,
+                          AggregateOp::kMean));
+    MYSAWH_ASSIGN_OR_RETURN(
+        TimeSeries monthly_sleep,
+        AggregateByPeriod(patient.sleep_daily, config.days_per_month,
+                          AggregateOp::kMean));
+    MYSAWH_ASSIGN_OR_RETURN(std::vector<double> fi_trajectory,
+                            PatientFrailtyTrajectory(patient));
+
+    // 3.-5. One candidate sample per non-visit month of each window.
+    for (int w = 0; w < config.NumWindows(); ++w) {
+      const double label =
+          OutcomeLabel(patient.outcomes[static_cast<size_t>(w)], outcome);
+      const double fi = fi_trajectory[static_cast<size_t>(w)];
+      for (int i = 1; i <= 8; ++i) {
+        const int month = w * 9 + i;
+        if (month >= config.num_months) break;
+        ++sets.total_candidates;
+        std::vector<double> features(static_cast<size_t>(num_features), kNaN);
+        int64_t missing = 0;
+        for (int q = 0; q < num_questions; ++q) {
+          const double v = monthly_pro[static_cast<size_t>(q)].at(month);
+          features[static_cast<size_t>(q)] = v;
+          missing += std::isnan(v) ? 1 : 0;
+        }
+        features[static_cast<size_t>(num_questions)] =
+            monthly_steps.at(month);
+        features[static_cast<size_t>(num_questions + 1)] =
+            monthly_calories.at(month);
+        features[static_cast<size_t>(num_questions + 2)] =
+            monthly_sleep.at(month);
+        for (int a = 0; a < 3; ++a) {
+          missing +=
+              std::isnan(features[static_cast<size_t>(num_questions + a)])
+                  ? 1
+                  : 0;
+        }
+        const double missing_fraction =
+            static_cast<double>(missing) / static_cast<double>(num_features);
+        if (missing_fraction > options_.max_missing_fraction) continue;
+
+        // ICI over the same monthly values.
+        std::vector<double> ici_inputs;
+        ici_inputs.reserve(ici_feature_indices_.size());
+        for (int idx : ici_feature_indices_) {
+          ici_inputs.push_back(features[static_cast<size_t>(idx)]);
+        }
+        const double ici_value = ici_.Compute(ici_inputs);
+        if (std::isnan(ici_value)) continue;  // KD has nothing to score
+
+        MYSAWH_RETURN_NOT_OK(sets.dd.AddRow(features, label));
+        std::vector<double> features_fi = features;
+        features_fi.push_back(fi);
+        MYSAWH_RETURN_NOT_OK(sets.dd_fi.AddRow(features_fi, label));
+        MYSAWH_RETURN_NOT_OK(sets.kd.AddRow({ici_value}, label));
+        MYSAWH_RETURN_NOT_OK(sets.kd_fi.AddRow({ici_value, fi}, label));
+        attr_patient.push_back(patient.patient_id);
+        attr_clinic.push_back(patient.clinic);
+        attr_window.push_back(w);
+        attr_month.push_back(month);
+        ++sets.retained;
+      }
+    }
+  }
+
+  for (Dataset* ds : {&sets.dd, &sets.dd_fi, &sets.kd, &sets.kd_fi}) {
+    MYSAWH_RETURN_NOT_OK(ds->SetAttribute("patient", attr_patient));
+    MYSAWH_RETURN_NOT_OK(ds->SetAttribute("clinic", attr_clinic));
+    MYSAWH_RETURN_NOT_OK(ds->SetAttribute("window", attr_window));
+    MYSAWH_RETURN_NOT_OK(ds->SetAttribute("month", attr_month));
+  }
+  return sets;
+}
+
+}  // namespace mysawh::core

@@ -1,0 +1,97 @@
+#ifndef MYSAWH_CORE_SAMPLE_BUILDER_H_
+#define MYSAWH_CORE_SAMPLE_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cohort/cohort.h"
+#include "core/ici.h"
+#include "core/outcomes.h"
+#include "data/dataset.h"
+#include "series/interpolation.h"
+#include "series/time_series.h"
+#include "util/status.h"
+
+namespace mysawh::core {
+
+/// Options of the sample-set construction, mirroring the paper's Section 3
+/// "Observational data and feature space" plus its quality-assurance step.
+struct SampleBuildOptions {
+  /// Gap runs up to this length are imputed; longer gaps are left missing.
+  /// The paper experimentally settled on 5.
+  int max_interpolation_gap = 5;
+  /// How bounded gaps are filled (the paper interpolates linearly).
+  ImputationMethod imputation = ImputationMethod::kLinear;
+  /// A monthly sample is dropped when more than this fraction of its
+  /// features is still missing after interpolation and aggregation. The
+  /// default (~2 of 59 features) retains roughly the same share of the
+  /// 4,176 candidate records as the paper's final 2,250-sample training
+  /// set.
+  double max_missing_fraction = 0.04;
+};
+
+/// Names of the three activity-tracker features.
+inline constexpr const char* kStepsFeature = "act_steps";
+inline constexpr const char* kCaloriesFeature = "act_calories";
+inline constexpr const char* kSleepFeature = "act_sleep";
+/// Name of the Frailty Index baseline feature in the *_fi sample sets.
+inline constexpr const char* kFiFeature = "fi_baseline";
+
+/// The four aligned sample sets of one outcome o: the paper's Sample_o
+/// (DD), Sample^FI_o (DD + FI), Sample^ICI_o (KD) and Sample^ICI,FI_o
+/// (KD + FI). All four contain the same retained rows in the same order,
+/// with attributes "patient", "clinic", "window", "month" attached, so DD
+/// and KD are evaluated on identical samples.
+struct SampleSets {
+  Outcome outcome = Outcome::kQol;
+  Dataset dd;     ///< 56 PRO + 3 activity features.
+  Dataset dd_fi;  ///< dd + FI at the window-start visit.
+  Dataset kd;     ///< single ICI feature.
+  Dataset kd_fi;  ///< ICI + FI.
+
+  int64_t total_candidates = 0;  ///< Monthly samples before QA filtering.
+  int64_t retained = 0;          ///< Rows surviving the QA filter.
+  GapStats gap_stats_raw;        ///< PRO gap statistics before interpolation.
+  GapStats gap_stats_after;      ///< ... after bounded interpolation.
+};
+
+/// Builds the paper's sample sets from a generated cohort:
+///  1. bounded linear interpolation of every weekly PRO series,
+///  2. monthly aggregation (mean over the month's answered prompts; mean of
+///     the month's worn-device days for the activity traces),
+///  3. one candidate sample per patient per non-visit month (8 per window),
+///     labelled with the end-of-window outcome,
+///  4. the QA drop rule for samples that remain too incomplete,
+///  5. ICI computation per retained sample for the KD sets, and the FI of
+///     the window-start visit for the *_fi sets.
+class SampleSetBuilder {
+ public:
+  /// `cohort` must outlive the builder. Uses the standard MySAwH ICI.
+  static Result<SampleSetBuilder> Create(const cohort::Cohort* cohort,
+                                         SampleBuildOptions options);
+
+  /// Builds all four aligned sample sets for one outcome.
+  Result<SampleSets> Build(Outcome outcome) const;
+
+  /// DD feature names (56 PRO + 3 activity).
+  const std::vector<std::string>& dd_feature_names() const {
+    return dd_feature_names_;
+  }
+  const IntrinsicCapacityIndex& ici() const { return ici_; }
+  const SampleBuildOptions& options() const { return options_; }
+
+ private:
+  SampleSetBuilder(const cohort::Cohort* cohort, SampleBuildOptions options,
+                   IntrinsicCapacityIndex ici);
+
+  const cohort::Cohort* cohort_;
+  SampleBuildOptions options_;
+  IntrinsicCapacityIndex ici_;
+  std::vector<std::string> dd_feature_names_;
+  std::vector<int> ici_feature_indices_;  ///< ICI variables -> DD columns.
+};
+
+}  // namespace mysawh::core
+
+#endif  // MYSAWH_CORE_SAMPLE_BUILDER_H_

@@ -1,0 +1,59 @@
+#ifndef MYSAWH_CORE_STUDY_H_
+#define MYSAWH_CORE_STUDY_H_
+
+#include <map>
+#include <string>
+
+#include "cohort/cohort.h"
+#include "core/evaluation.h"
+#include "core/sample_builder.h"
+#include "util/status.h"
+
+namespace mysawh::core {
+
+/// Configuration of a complete paper-style study run.
+struct StudyConfig {
+  cohort::CohortConfig cohort;
+  SampleBuildOptions build;
+  EvalProtocol protocol;
+};
+
+/// Key of one experiment cell in the study grid.
+struct StudyCellKey {
+  Outcome outcome = Outcome::kQol;
+  Approach approach = Approach::kDataDriven;
+  bool with_fi = false;
+
+  bool operator<(const StudyCellKey& other) const {
+    if (outcome != other.outcome) return outcome < other.outcome;
+    if (approach != other.approach) return approach < other.approach;
+    return with_fi < other.with_fi;
+  }
+};
+
+/// The complete result of a study: the paper's Fig 4 grid (3 outcomes x
+/// {KD, DD} x {with, without FI}) plus dataset-level statistics.
+struct StudyResult {
+  std::map<StudyCellKey, ExperimentResult> cells;
+  int64_t total_candidates = 0;
+  int64_t retained = 0;
+  GapStats gap_stats;
+
+  /// The cell lookup; fails when the grid is incomplete.
+  Result<const ExperimentResult*> Cell(Outcome outcome, Approach approach,
+                                       bool with_fi) const;
+
+  /// Renders the whole study as a self-contained Markdown report
+  /// (dataset summary + Fig 4-style tables), suitable for writing to a
+  /// REPORT.md.
+  std::string ToMarkdown() const;
+};
+
+/// Runs the full DD-vs-KD study: generates the cohort, builds the aligned
+/// sample sets for each outcome, and evaluates all twelve grid cells with
+/// the default per-cell hyperparameters.
+Result<StudyResult> RunFullStudy(const StudyConfig& config);
+
+}  // namespace mysawh::core
+
+#endif  // MYSAWH_CORE_STUDY_H_

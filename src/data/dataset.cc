@@ -1,0 +1,171 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+namespace mysawh {
+
+Dataset Dataset::Create(std::vector<std::string> feature_names) {
+  Dataset ds;
+  ds.feature_names_ = std::move(feature_names);
+  return ds;
+}
+
+Result<Dataset> Dataset::FromTable(
+    const Table& table, const std::vector<std::string>& feature_columns,
+    const std::string& label_column,
+    const std::vector<std::string>& attr_columns) {
+  Dataset ds = Create(feature_columns);
+  MYSAWH_ASSIGN_OR_RETURN(const std::vector<double>* labels,
+                          table.GetNumeric(label_column));
+  std::vector<const std::vector<double>*> cols;
+  cols.reserve(feature_columns.size());
+  for (const auto& name : feature_columns) {
+    MYSAWH_ASSIGN_OR_RETURN(const std::vector<double>* col,
+                            table.GetNumeric(name));
+    cols.push_back(col);
+  }
+  const int64_t n = table.num_rows();
+  ds.features_.resize(static_cast<size_t>(n) * feature_columns.size());
+  ds.labels_.assign(labels->begin(), labels->end());
+  ds.num_rows_ = n;
+  for (int64_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < cols.size(); ++c) {
+      ds.features_[static_cast<size_t>(r) * cols.size() + c] =
+          (*cols[c])[static_cast<size_t>(r)];
+    }
+  }
+  for (const auto& name : attr_columns) {
+    MYSAWH_ASSIGN_OR_RETURN(const std::vector<double>* col,
+                            table.GetNumeric(name));
+    std::vector<int64_t> values;
+    values.reserve(col->size());
+    for (double v : *col) {
+      if (std::isnan(v) || v != std::floor(v)) {
+        return Status::InvalidArgument("attribute column " + name +
+                                       " has non-integral values");
+      }
+      values.push_back(static_cast<int64_t>(v));
+    }
+    MYSAWH_RETURN_NOT_OK(ds.SetAttribute(name, std::move(values)));
+  }
+  return ds;
+}
+
+Result<int> Dataset::FeatureIndex(const std::string& name) const {
+  for (size_t i = 0; i < feature_names_.size(); ++i) {
+    if (feature_names_[i] == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("feature not found: " + name);
+}
+
+Status Dataset::AddRow(const std::vector<double>& features, double label) {
+  if (static_cast<int64_t>(features.size()) != num_features()) {
+    return Status::InvalidArgument("AddRow width mismatch");
+  }
+  if (!attributes_.empty()) {
+    return Status::FailedPrecondition(
+        "AddRow after attributes were attached would desynchronize lengths");
+  }
+  features_.insert(features_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+  ++num_rows_;
+  return Status::Ok();
+}
+
+std::vector<double> Dataset::FeatureColumn(int64_t feature) const {
+  std::vector<double> out(static_cast<size_t>(num_rows_));
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    out[static_cast<size_t>(r)] = At(r, feature);
+  }
+  return out;
+}
+
+Status Dataset::SetAttribute(const std::string& name,
+                             std::vector<int64_t> values) {
+  if (static_cast<int64_t>(values.size()) != num_rows_) {
+    return Status::InvalidArgument("attribute length mismatch for " + name);
+  }
+  attributes_[name] = std::move(values);
+  return Status::Ok();
+}
+
+bool Dataset::HasAttribute(const std::string& name) const {
+  return attributes_.count(name) > 0;
+}
+
+Result<const std::vector<int64_t>*> Dataset::Attribute(
+    const std::string& name) const {
+  auto it = attributes_.find(name);
+  if (it == attributes_.end()) {
+    return Status::NotFound("attribute not found: " + name);
+  }
+  return &it->second;
+}
+
+Result<Dataset> Dataset::Take(const std::vector<int64_t>& indices) const {
+  Dataset out = Create(feature_names_);
+  const auto nf = static_cast<size_t>(num_features());
+  out.features_.resize(indices.size() * nf);
+  out.labels_.resize(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t r = indices[i];
+    if (r < 0 || r >= num_rows_) {
+      return Status::OutOfRange("Take index out of range");
+    }
+    for (size_t c = 0; c < nf; ++c) {
+      out.features_[i * nf + c] = features_[static_cast<size_t>(r) * nf + c];
+    }
+    out.labels_[i] = labels_[static_cast<size_t>(r)];
+  }
+  out.num_rows_ = static_cast<int64_t>(indices.size());
+  for (const auto& [name, values] : attributes_) {
+    std::vector<int64_t> taken(indices.size());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      taken[i] = values[static_cast<size_t>(indices[i])];
+    }
+    out.attributes_[name] = std::move(taken);
+  }
+  return out;
+}
+
+Result<Table> Dataset::ToTable() const {
+  Table table;
+  for (int64_t f = 0; f < num_features(); ++f) {
+    MYSAWH_RETURN_NOT_OK(table.AddNumericColumn(
+        feature_names_[static_cast<size_t>(f)], FeatureColumn(f)));
+  }
+  MYSAWH_RETURN_NOT_OK(table.AddNumericColumn("label", labels_));
+  for (const auto& [name, values] : attributes_) {
+    std::vector<double> column;
+    column.reserve(values.size());
+    for (int64_t v : values) column.push_back(static_cast<double>(v));
+    MYSAWH_RETURN_NOT_OK(table.AddNumericColumn(name, std::move(column)));
+  }
+  return table;
+}
+
+Status Dataset::Append(const Dataset& other) {
+  if (other.feature_names_ != feature_names_) {
+    return Status::InvalidArgument("Append: feature schema mismatch");
+  }
+  if (attributes_.size() != other.attributes_.size()) {
+    return Status::InvalidArgument("Append: attribute set mismatch");
+  }
+  for (const auto& [name, values] : attributes_) {
+    (void)values;
+    if (!other.HasAttribute(name)) {
+      return Status::InvalidArgument("Append: missing attribute " + name);
+    }
+  }
+  features_.insert(features_.end(), other.features_.begin(),
+                   other.features_.end());
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+  for (auto& [name, values] : attributes_) {
+    const auto& src = other.attributes_.at(name);
+    values.insert(values.end(), src.begin(), src.end());
+  }
+  num_rows_ += other.num_rows_;
+  return Status::Ok();
+}
+
+}  // namespace mysawh

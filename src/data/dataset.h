@@ -1,0 +1,99 @@
+#ifndef MYSAWH_DATA_DATASET_H_
+#define MYSAWH_DATA_DATASET_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace mysawh {
+
+/// A dense supervised-learning dataset: a row-major feature matrix (missing
+/// values are quiet NaN), one label per row, feature names, and optional
+/// integer attribute columns (patient id, clinic code, month, ...) that ride
+/// along through slicing so evaluations can stratify without re-joins.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Creates an empty dataset with the given schema.
+  static Dataset Create(std::vector<std::string> feature_names);
+
+  /// Builds a dataset from a table: `feature_columns` become the matrix (in
+  /// order), `label_column` the label; both must be numeric. `attr_columns`
+  /// must be numeric with integral values and become attributes.
+  static Result<Dataset> FromTable(const Table& table,
+                                   const std::vector<std::string>& feature_columns,
+                                   const std::string& label_column,
+                                   const std::vector<std::string>& attr_columns = {});
+
+  int64_t num_rows() const { return num_rows_; }
+  int64_t num_features() const {
+    return static_cast<int64_t>(feature_names_.size());
+  }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  /// Index of a feature by name.
+  Result<int> FeatureIndex(const std::string& name) const;
+
+  /// Appends one row. `features` must have num_features() entries.
+  Status AddRow(const std::vector<double>& features, double label);
+
+  /// Feature value at (row, feature). Bounds are the caller's contract.
+  double At(int64_t row, int64_t feature) const {
+    return features_[static_cast<size_t>(row * num_features() + feature)];
+  }
+  /// Mutable feature cell.
+  void Set(int64_t row, int64_t feature, double value) {
+    features_[static_cast<size_t>(row * num_features() + feature)] = value;
+  }
+  /// Label of a row.
+  double label(int64_t row) const { return labels_[static_cast<size_t>(row)]; }
+  void set_label(int64_t row, double value) {
+    labels_[static_cast<size_t>(row)] = value;
+  }
+  const std::vector<double>& labels() const { return labels_; }
+
+  /// Pointer to the start of a row (num_features() contiguous doubles).
+  const double* row(int64_t r) const {
+    return features_.data() + r * num_features();
+  }
+
+  /// Copies a feature column into a fresh vector.
+  std::vector<double> FeatureColumn(int64_t feature) const;
+
+  /// Attaches an integer attribute column (length must equal num_rows()).
+  Status SetAttribute(const std::string& name, std::vector<int64_t> values);
+  bool HasAttribute(const std::string& name) const;
+  /// Attribute lookup; fails if absent.
+  Result<const std::vector<int64_t>*> Attribute(const std::string& name) const;
+
+  /// Returns a new dataset containing rows at `indices` (in that order),
+  /// including attributes. Indices must be in [0, num_rows()).
+  Result<Dataset> Take(const std::vector<int64_t>& indices) const;
+
+  /// Appends another dataset with identical feature names and attribute set.
+  Status Append(const Dataset& other);
+
+  /// Exports to a Table: one numeric column per feature, a "label" column,
+  /// and one numeric column per attribute — the inverse of FromTable, so a
+  /// built sample set can be written to CSV and reloaded. Fails when a
+  /// feature is already named "label" or clashes with an attribute.
+  Result<Table> ToTable() const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<double> features_;  // row-major, num_rows_ * num_features
+  std::vector<double> labels_;
+  std::map<std::string, std::vector<int64_t>> attributes_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace mysawh
+
+#endif  // MYSAWH_DATA_DATASET_H_

@@ -1,0 +1,69 @@
+#include "explain/permutation_importance.h"
+
+#include <algorithm>
+
+#include "gbt/objective.h"
+#include "util/rng.h"
+
+namespace mysawh::explain {
+
+Result<PermutationImportance> ComputePermutationImportance(
+    const gbt::GbtModel& model, const Dataset& data, int repeats,
+    uint64_t seed) {
+  if (repeats < 1) {
+    return Status::InvalidArgument("repeats must be >= 1");
+  }
+  if (data.num_rows() < 2) {
+    return Status::InvalidArgument(
+        "permutation importance needs at least 2 rows");
+  }
+  if (data.num_features() != model.num_features()) {
+    return Status::InvalidArgument("dataset width mismatch");
+  }
+  const auto objective = gbt::MakeObjective(model.objective_type());
+  MYSAWH_ASSIGN_OR_RETURN(std::vector<double> baseline_preds,
+                          model.Predict(data));
+  const double baseline =
+      objective->EvalDefaultMetric(data.labels(), baseline_preds);
+
+  Rng rng(seed);
+  const int64_t n = data.num_rows();
+  std::vector<double> scores(static_cast<size_t>(data.num_features()), 0.0);
+  // Work on a mutable copy so one column can be shuffled in place and
+  // restored afterwards.
+  Dataset scratch = data;
+  for (int64_t f = 0; f < data.num_features(); ++f) {
+    const std::vector<double> original = data.FeatureColumn(f);
+    double total = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      std::vector<double> shuffled = original;
+      rng.Shuffle(&shuffled);
+      for (int64_t i = 0; i < n; ++i) {
+        scratch.Set(i, f, shuffled[static_cast<size_t>(i)]);
+      }
+      MYSAWH_ASSIGN_OR_RETURN(std::vector<double> preds,
+                              model.Predict(scratch));
+      total += objective->EvalDefaultMetric(data.labels(), preds) - baseline;
+    }
+    scores[static_cast<size_t>(f)] = total / static_cast<double>(repeats);
+    for (int64_t i = 0; i < n; ++i) {
+      scratch.Set(i, f, original[static_cast<size_t>(i)]);
+    }
+  }
+
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return model.feature_names()[a] < model.feature_names()[b];
+  });
+  PermutationImportance out;
+  out.baseline_metric = baseline;
+  for (size_t i : order) {
+    out.features.push_back(model.feature_names()[i]);
+    out.importance.push_back(scores[i]);
+  }
+  return out;
+}
+
+}  // namespace mysawh::explain

@@ -1,0 +1,33 @@
+#ifndef MYSAWH_EXPLAIN_PERMUTATION_IMPORTANCE_H_
+#define MYSAWH_EXPLAIN_PERMUTATION_IMPORTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "gbt/gbt_model.h"
+#include "util/status.h"
+
+namespace mysawh::explain {
+
+/// Model-agnostic permutation feature importance: how much the model's
+/// default metric (RMSE for regression, log-loss for classification)
+/// degrades when one feature column is shuffled, averaged over `repeats`
+/// shuffles. Complements SHAP: permutation importance measures reliance on
+/// a feature under the data distribution, SHAP attributes individual
+/// predictions.
+struct PermutationImportance {
+  std::vector<std::string> features;   ///< Sorted by importance, descending.
+  std::vector<double> importance;      ///< Mean metric increase per feature.
+  double baseline_metric = 0.0;        ///< Metric on the unshuffled data.
+};
+
+/// Computes permutation importance of `model` on `data`. `repeats` >= 1
+/// shuffles per feature; `seed` drives the shuffles.
+Result<PermutationImportance> ComputePermutationImportance(
+    const gbt::GbtModel& model, const Dataset& data, int repeats = 3,
+    uint64_t seed = 17);
+
+}  // namespace mysawh::explain
+
+#endif  // MYSAWH_EXPLAIN_PERMUTATION_IMPORTANCE_H_

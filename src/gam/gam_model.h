@@ -1,0 +1,88 @@
+#ifndef MYSAWH_GAM_GAM_MODEL_H_
+#define MYSAWH_GAM_GAM_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "gbt/objective.h"
+#include "gbt/tree.h"
+#include "util/status.h"
+
+namespace mysawh::gam {
+
+/// Hyperparameters for the additive model.
+struct GamParams {
+  gbt::ObjectiveType objective = gbt::ObjectiveType::kSquaredError;
+  int num_cycles = 50;          ///< Boosting passes over all features.
+  int max_depth = 2;            ///< Depth of each single-feature tree.
+  double learning_rate = 0.1;   ///< Shrinkage.
+  int min_samples_leaf = 5;     ///< Min rows per leaf.
+  double reg_lambda = 1.0;      ///< L2 on leaf weights.
+
+  /// Range checks.
+  Status Validate() const;
+};
+
+/// An intelligible-by-construction generalized additive model trained by
+/// cyclic gradient boosting of single-feature trees (the core of GA2M /
+/// Explainable Boosting Machines, without pairwise interactions).
+///
+/// The paper reports that gradient boosting outperformed GA2M on the MySAwH
+/// task and therefore chose XGBoost + post-hoc SHAP; this class is the
+/// baseline that ablation reproduces (`bench/ablation_model_families`).
+class GamModel {
+ public:
+  GamModel() = default;
+
+  /// Trains by cycling through features `num_cycles` times, each step
+  /// fitting one depth-limited tree on a single feature to the current
+  /// loss gradients.
+  static Result<GamModel> Train(const Dataset& train, const GamParams& params);
+
+  /// Prediction for one row (transformed scale).
+  double PredictRow(const double* row) const;
+  /// Batch prediction (transformed scale).
+  Result<std::vector<double>> Predict(const Dataset& data) const;
+
+  /// Evaluates the learned shape function of `feature` at the given values
+  /// (the additive contribution f_j(x), raw scale). Missing input (NaN)
+  /// yields the contribution of the missing branch.
+  Result<std::vector<double>> ShapeFunction(
+      int feature, const std::vector<double>& values) const;
+
+  /// Exact Shapley values of one row (raw scale). For an additive model
+  /// the Shapley value of feature j is simply f_j(x_j) - E[f_j], with the
+  /// expectation taken over the training set — no sampling or tree
+  /// recursion needed. Satisfies raw(x) = expected_value() + sum_j phi_j.
+  Result<std::vector<double>> ShapValues(const double* row) const;
+
+  /// Raw-scale expectation of the model over its training set.
+  double expected_value() const { return expected_value_; }
+
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  int64_t num_features() const {
+    return static_cast<int64_t>(feature_names_.size());
+  }
+  double base_score() const { return base_score_; }
+  gbt::ObjectiveType objective_type() const { return objective_type_; }
+  /// Total number of single-feature trees.
+  int64_t num_trees() const { return static_cast<int64_t>(trees_.size()); }
+
+ private:
+  std::vector<gbt::RegressionTree> trees_;  // each splits on one feature
+  std::vector<int> tree_feature_;           // that feature's index
+  std::vector<std::string> feature_names_;
+  gbt::ObjectiveType objective_type_ = gbt::ObjectiveType::kSquaredError;
+  double base_score_ = 0.0;
+  /// Mean of each feature's shape function over the training rows.
+  std::vector<double> mean_contribution_;
+  double expected_value_ = 0.0;
+};
+
+}  // namespace mysawh::gam
+
+#endif  // MYSAWH_GAM_GAM_MODEL_H_

@@ -1,0 +1,77 @@
+#include "gbt/binning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mysawh::gbt {
+
+Result<FeatureBins> FeatureBins::Build(const Dataset& data, int max_bins) {
+  if (max_bins < 2) {
+    return Status::InvalidArgument("max_bins must be >= 2");
+  }
+  FeatureBins out;
+  out.cuts_.resize(static_cast<size_t>(data.num_features()));
+  const double inf = std::numeric_limits<double>::infinity();
+  for (int64_t f = 0; f < data.num_features(); ++f) {
+    std::vector<double> values;
+    values.reserve(static_cast<size_t>(data.num_rows()));
+    for (int64_t r = 0; r < data.num_rows(); ++r) {
+      const double v = data.At(r, f);
+      if (!std::isnan(v)) values.push_back(v);
+    }
+    auto& cuts = out.cuts_[static_cast<size_t>(f)];
+    if (values.empty()) {
+      cuts = {inf};
+      continue;
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    if (static_cast<int>(values.size()) <= max_bins) {
+      // One bin per distinct value: boundary is the midpoint to the next
+      // distinct value, so ordinal features split exactly between levels.
+      for (size_t i = 0; i + 1 < values.size(); ++i) {
+        cuts.push_back(0.5 * (values[i] + values[i + 1]));
+      }
+      cuts.push_back(inf);
+    } else {
+      // Even-rank quantile cuts over distinct values.
+      for (int b = 1; b < max_bins; ++b) {
+        const double pos = static_cast<double>(b) *
+                           static_cast<double>(values.size()) /
+                           static_cast<double>(max_bins);
+        auto idx = static_cast<size_t>(pos);
+        idx = std::min(idx, values.size() - 2);
+        const double cut = 0.5 * (values[idx] + values[idx + 1]);
+        if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+      }
+      cuts.push_back(inf);
+    }
+  }
+  return out;
+}
+
+uint16_t FeatureBins::BinFor(int64_t feature, double value) const {
+  if (std::isnan(value)) return kMissingBin;
+  const auto& cuts = cuts_[static_cast<size_t>(feature)];
+  // First bin whose upper boundary exceeds the value.
+  const auto it = std::upper_bound(cuts.begin(), cuts.end(), value);
+  const auto idx = static_cast<size_t>(it - cuts.begin());
+  return static_cast<uint16_t>(std::min(idx, cuts.size() - 1));
+}
+
+BinnedMatrix BinnedMatrix::Build(const Dataset& data,
+                                 const FeatureBins& bins) {
+  BinnedMatrix out;
+  out.num_rows_ = data.num_rows();
+  out.bins_.resize(static_cast<size_t>(data.num_rows() * data.num_features()));
+  for (int64_t f = 0; f < data.num_features(); ++f) {
+    for (int64_t r = 0; r < data.num_rows(); ++r) {
+      out.bins_[static_cast<size_t>(f * out.num_rows_ + r)] =
+          bins.BinFor(f, data.At(r, f));
+    }
+  }
+  return out;
+}
+
+}  // namespace mysawh::gbt

@@ -1,0 +1,68 @@
+#ifndef MYSAWH_GBT_BINNING_H_
+#define MYSAWH_GBT_BINNING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace mysawh::gbt {
+
+/// Sentinel bin index for a missing (NaN) feature value.
+inline constexpr uint16_t kMissingBin = 0xFFFF;
+
+/// Per-feature quantile cut points for the histogram tree method.
+///
+/// For feature f, `cuts[f]` holds strictly increasing upper boundaries; a
+/// value v maps to the smallest bin b with v < cuts[f][b]. The last cut is
+/// +inf so every finite value maps somewhere. Features with few distinct
+/// values get one bin per value (so categorical/ordinal PRO answers are
+/// represented exactly).
+class FeatureBins {
+ public:
+  /// Builds cut points from the training data with at most `max_bins` bins
+  /// per feature.
+  static Result<FeatureBins> Build(const Dataset& data, int max_bins);
+
+  int64_t num_features() const {
+    return static_cast<int64_t>(cuts_.size());
+  }
+  /// Number of bins of a feature.
+  int num_bins(int64_t feature) const {
+    return static_cast<int>(cuts_[static_cast<size_t>(feature)].size());
+  }
+  /// The upper boundary of a bin; splitting "bin <= b" uses threshold
+  /// cuts[f][b] (split condition value < cuts[f][b]).
+  double cut(int64_t feature, int bin) const {
+    return cuts_[static_cast<size_t>(feature)][static_cast<size_t>(bin)];
+  }
+
+  /// Maps a raw value to its bin (kMissingBin for NaN).
+  uint16_t BinFor(int64_t feature, double value) const;
+
+ private:
+  std::vector<std::vector<double>> cuts_;
+};
+
+/// The whole training matrix quantized to bins, column-major for fast
+/// histogram accumulation.
+class BinnedMatrix {
+ public:
+  /// Quantizes `data` with the given `bins`.
+  static BinnedMatrix Build(const Dataset& data, const FeatureBins& bins);
+
+  int64_t num_rows() const { return num_rows_; }
+  /// Bin of (row, feature).
+  uint16_t At(int64_t row, int64_t feature) const {
+    return bins_[static_cast<size_t>(feature * num_rows_ + row)];
+  }
+
+ private:
+  std::vector<uint16_t> bins_;  // column-major: feature * num_rows + row
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace mysawh::gbt
+
+#endif  // MYSAWH_GBT_BINNING_H_

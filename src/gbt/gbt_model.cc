@@ -1,0 +1,281 @@
+#include "gbt/gbt_model.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "gbt/trainer.h"
+#include "util/string_util.h"
+
+namespace mysawh::gbt {
+
+Result<GbtModel> GbtModel::Train(const Dataset& train, const GbtParams& params,
+                                 const Dataset* validation, TrainingLog* log) {
+  Trainer trainer(train, params);
+  return trainer.Run(validation, log);
+}
+
+double GbtModel::PredictRowRaw(const double* row) const {
+  double raw = base_score_;
+  for (const auto& tree : trees_) raw += tree.Predict(row);
+  return raw;
+}
+
+double GbtModel::PredictRow(const double* row) const {
+  const auto objective = MakeObjective(objective_type_);
+  return objective->Transform(PredictRowRaw(row));
+}
+
+Result<std::vector<double>> GbtModel::PredictRaw(const Dataset& data) const {
+  if (data.num_features() != num_features()) {
+    return Status::InvalidArgument(
+        "Predict: dataset width " + std::to_string(data.num_features()) +
+        " != model width " + std::to_string(num_features()));
+  }
+  std::vector<double> out(static_cast<size_t>(data.num_rows()));
+  for (int64_t i = 0; i < data.num_rows(); ++i) {
+    out[static_cast<size_t>(i)] = PredictRowRaw(data.row(i));
+  }
+  return out;
+}
+
+Result<std::vector<double>> GbtModel::Predict(const Dataset& data) const {
+  MYSAWH_ASSIGN_OR_RETURN(std::vector<double> raw, PredictRaw(data));
+  const auto objective = MakeObjective(objective_type_);
+  for (double& v : raw) v = objective->Transform(v);
+  return raw;
+}
+
+Result<std::vector<std::vector<double>>> GbtModel::PredictStaged(
+    const Dataset& data, int stride) const {
+  if (stride < 1) return Status::InvalidArgument("stride must be >= 1");
+  if (data.num_features() != num_features()) {
+    return Status::InvalidArgument("PredictStaged: dataset width mismatch");
+  }
+  const auto objective = MakeObjective(objective_type_);
+  std::vector<double> raw(static_cast<size_t>(data.num_rows()), base_score_);
+  std::vector<std::vector<double>> stages;
+  auto snapshot = [&] {
+    std::vector<double> stage(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      stage[i] = objective->Transform(raw[i]);
+    }
+    stages.push_back(std::move(stage));
+  };
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    for (int64_t r = 0; r < data.num_rows(); ++r) {
+      raw[static_cast<size_t>(r)] += trees_[t].Predict(data.row(r));
+    }
+    if ((t + 1) % static_cast<size_t>(stride) == 0 || t + 1 == trees_.size()) {
+      snapshot();
+    }
+  }
+  if (trees_.empty()) snapshot();
+  return stages;
+}
+
+std::map<std::string, double> GbtModel::GainImportance() const {
+  std::map<std::string, double> importance;
+  for (const auto& tree : trees_) {
+    for (int i = 0; i < tree.num_nodes(); ++i) {
+      const TreeNode& n = tree.node(i);
+      if (n.IsLeaf()) continue;
+      importance[feature_names_[static_cast<size_t>(n.feature)]] += n.gain;
+    }
+  }
+  return importance;
+}
+
+std::map<std::string, int64_t> GbtModel::SplitCountImportance() const {
+  std::map<std::string, int64_t> importance;
+  for (const auto& tree : trees_) {
+    for (int i = 0; i < tree.num_nodes(); ++i) {
+      const TreeNode& n = tree.node(i);
+      if (n.IsLeaf()) continue;
+      importance[feature_names_[static_cast<size_t>(n.feature)]] += 1;
+    }
+  }
+  return importance;
+}
+
+std::map<std::string, double> GbtModel::CoverImportance() const {
+  std::map<std::string, double> importance;
+  for (const auto& tree : trees_) {
+    for (int i = 0; i < tree.num_nodes(); ++i) {
+      const TreeNode& n = tree.node(i);
+      if (n.IsLeaf()) continue;
+      importance[feature_names_[static_cast<size_t>(n.feature)]] += n.cover;
+    }
+  }
+  return importance;
+}
+
+namespace {
+
+/// Hex encoding of a double's bits: exact round-trip, locale-independent.
+std::string EncodeDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  std::ostringstream os;
+  os << std::hex << bits;
+  return os.str();
+}
+
+Result<double> DecodeDouble(const std::string& s) {
+  uint64_t bits = 0;
+  std::istringstream is(s);
+  is >> std::hex >> bits;
+  if (is.fail() || !is.eof()) {
+    return Status::InvalidArgument("bad double encoding: " + s);
+  }
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::string GbtModel::Serialize() const {
+  std::ostringstream os;
+  os << "mysawh-gbt v1\n";
+  os << "objective " << ObjectiveTypeName(objective_type_) << "\n";
+  os << "base_score " << EncodeDouble(base_score_) << "\n";
+  os << "best_iteration " << best_iteration_ << "\n";
+  os << "num_features " << feature_names_.size() << "\n";
+  for (const auto& name : feature_names_) os << "feature " << name << "\n";
+  os << "num_trees " << trees_.size() << "\n";
+  for (const auto& tree : trees_) {
+    os << "tree " << tree.num_nodes() << "\n";
+    for (int i = 0; i < tree.num_nodes(); ++i) {
+      const TreeNode& n = tree.node(i);
+      os << n.left << " " << n.right << " " << n.feature << " "
+         << EncodeDouble(n.threshold) << " " << (n.default_left ? 1 : 0)
+         << " " << EncodeDouble(n.value) << " " << EncodeDouble(n.gain) << " "
+         << EncodeDouble(n.cover) << "\n";
+    }
+  }
+  return os.str();
+}
+
+Result<GbtModel> GbtModel::Deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  auto next_line = [&]() -> Result<std::string> {
+    if (!std::getline(is, line)) {
+      return Status::InvalidArgument("model text truncated");
+    }
+    return line;
+  };
+  MYSAWH_ASSIGN_OR_RETURN(std::string header, next_line());
+  if (header != "mysawh-gbt v1") {
+    return Status::InvalidArgument("bad model header: " + header);
+  }
+  GbtModel model;
+  MYSAWH_ASSIGN_OR_RETURN(std::string obj_line, next_line());
+  {
+    const auto parts = Split(obj_line, ' ');
+    if (parts.size() != 2 || parts[0] != "objective") {
+      return Status::InvalidArgument("bad objective line");
+    }
+    MYSAWH_ASSIGN_OR_RETURN(model.objective_type_,
+                            ParseObjectiveType(parts[1]));
+  }
+  MYSAWH_ASSIGN_OR_RETURN(std::string base_line, next_line());
+  {
+    const auto parts = Split(base_line, ' ');
+    if (parts.size() != 2 || parts[0] != "base_score") {
+      return Status::InvalidArgument("bad base_score line");
+    }
+    MYSAWH_ASSIGN_OR_RETURN(model.base_score_, DecodeDouble(parts[1]));
+  }
+  MYSAWH_ASSIGN_OR_RETURN(std::string best_line, next_line());
+  {
+    const auto parts = Split(best_line, ' ');
+    if (parts.size() != 2 || parts[0] != "best_iteration") {
+      return Status::InvalidArgument("bad best_iteration line");
+    }
+    MYSAWH_ASSIGN_OR_RETURN(int64_t v, ParseInt64(parts[1]));
+    model.best_iteration_ = static_cast<int>(v);
+  }
+  MYSAWH_ASSIGN_OR_RETURN(std::string nf_line, next_line());
+  int64_t num_features = 0;
+  {
+    const auto parts = Split(nf_line, ' ');
+    if (parts.size() != 2 || parts[0] != "num_features") {
+      return Status::InvalidArgument("bad num_features line");
+    }
+    MYSAWH_ASSIGN_OR_RETURN(num_features, ParseInt64(parts[1]));
+  }
+  for (int64_t i = 0; i < num_features; ++i) {
+    MYSAWH_ASSIGN_OR_RETURN(std::string fline, next_line());
+    if (!StartsWith(fline, "feature ")) {
+      return Status::InvalidArgument("bad feature line: " + fline);
+    }
+    model.feature_names_.push_back(fline.substr(8));
+  }
+  MYSAWH_ASSIGN_OR_RETURN(std::string nt_line, next_line());
+  int64_t num_trees = 0;
+  {
+    const auto parts = Split(nt_line, ' ');
+    if (parts.size() != 2 || parts[0] != "num_trees") {
+      return Status::InvalidArgument("bad num_trees line");
+    }
+    MYSAWH_ASSIGN_OR_RETURN(num_trees, ParseInt64(parts[1]));
+  }
+  for (int64_t t = 0; t < num_trees; ++t) {
+    MYSAWH_ASSIGN_OR_RETURN(std::string tline, next_line());
+    const auto tparts = Split(tline, ' ');
+    if (tparts.size() != 2 || tparts[0] != "tree") {
+      return Status::InvalidArgument("bad tree line: " + tline);
+    }
+    MYSAWH_ASSIGN_OR_RETURN(int64_t num_nodes, ParseInt64(tparts[1]));
+    if (num_nodes < 1) return Status::InvalidArgument("empty tree");
+    std::vector<TreeNode> nodes;
+    nodes.reserve(static_cast<size_t>(num_nodes));
+    for (int64_t i = 0; i < num_nodes; ++i) {
+      MYSAWH_ASSIGN_OR_RETURN(std::string nline, next_line());
+      const auto p = Split(nline, ' ');
+      if (p.size() != 8) {
+        return Status::InvalidArgument("bad node line: " + nline);
+      }
+      TreeNode n;
+      MYSAWH_ASSIGN_OR_RETURN(int64_t left, ParseInt64(p[0]));
+      MYSAWH_ASSIGN_OR_RETURN(int64_t right, ParseInt64(p[1]));
+      MYSAWH_ASSIGN_OR_RETURN(int64_t feature, ParseInt64(p[2]));
+      n.left = static_cast<int32_t>(left);
+      n.right = static_cast<int32_t>(right);
+      n.feature = static_cast<int32_t>(feature);
+      MYSAWH_ASSIGN_OR_RETURN(n.threshold, DecodeDouble(p[3]));
+      MYSAWH_ASSIGN_OR_RETURN(int64_t dl, ParseInt64(p[4]));
+      n.default_left = dl != 0;
+      MYSAWH_ASSIGN_OR_RETURN(n.value, DecodeDouble(p[5]));
+      MYSAWH_ASSIGN_OR_RETURN(n.gain, DecodeDouble(p[6]));
+      MYSAWH_ASSIGN_OR_RETURN(n.cover, DecodeDouble(p[7]));
+      nodes.push_back(n);
+    }
+    RegressionTree rebuilt = RegressionTree::FromNodes(std::move(nodes));
+    MYSAWH_RETURN_NOT_OK(rebuilt.Validate());
+    model.trees_.push_back(std::move(rebuilt));
+  }
+  return model;
+}
+
+Status GbtModel::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << Serialize();
+  if (!out) return Status::IoError("failed writing: " + path);
+  return Status::Ok();
+}
+
+Result<GbtModel> GbtModel::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+}  // namespace mysawh::gbt

@@ -1,0 +1,103 @@
+#ifndef MYSAWH_GBT_GBT_MODEL_H_
+#define MYSAWH_GBT_GBT_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "gbt/objective.h"
+#include "gbt/params.h"
+#include "gbt/tree.h"
+#include "util/status.h"
+
+namespace mysawh::gbt {
+
+/// Per-round metrics captured during training.
+struct TrainingLog {
+  struct Round {
+    int round = 0;
+    double train_metric = 0.0;
+    double valid_metric = 0.0;  ///< NaN when no validation set was given.
+  };
+  std::vector<Round> rounds;
+  std::string metric_name;
+};
+
+/// A trained gradient-boosted tree ensemble (XGBoost-style second-order
+/// boosting, built from scratch). Supports regression (squared error,
+/// pseudo-Huber) and binary classification (logistic), missing values via
+/// learned default directions, L1/L2/gamma regularization, row and column
+/// subsampling, histogram or exact split finding, and early stopping.
+class GbtModel {
+ public:
+  GbtModel() = default;
+
+  /// Trains an ensemble on `train`. If `validation` is non-null its metric
+  /// is tracked per round and early stopping (if enabled in `params`)
+  /// truncates the ensemble at the best round. `log`, when non-null,
+  /// receives per-round metrics.
+  static Result<GbtModel> Train(const Dataset& train, const GbtParams& params,
+                                const Dataset* validation = nullptr,
+                                TrainingLog* log = nullptr);
+
+  /// Prediction (transformed scale: value for regression, P(y=1) for
+  /// logistic) for one row of num_features() doubles; NaN = missing.
+  double PredictRow(const double* row) const;
+  /// Raw margin score for one row.
+  double PredictRowRaw(const double* row) const;
+
+  /// Batch prediction; fails when the dataset's width differs.
+  Result<std::vector<double>> Predict(const Dataset& data) const;
+  /// Batch raw margins.
+  Result<std::vector<double>> PredictRaw(const Dataset& data) const;
+
+  /// Staged batch prediction: transformed predictions after every `stride`
+  /// trees (1, stride, 2*stride, ..., and always the full ensemble).
+  /// Useful for learning curves and choosing the ensemble size post hoc.
+  Result<std::vector<std::vector<double>>> PredictStaged(const Dataset& data,
+                                                         int stride) const;
+
+  const std::vector<RegressionTree>& trees() const { return trees_; }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  int64_t num_features() const {
+    return static_cast<int64_t>(feature_names_.size());
+  }
+  ObjectiveType objective_type() const { return objective_type_; }
+  double base_score() const { return base_score_; }
+  /// Round with the best validation metric (last round when early stopping
+  /// was off).
+  int best_iteration() const { return best_iteration_; }
+
+  /// Total split gain attributed to each feature (the "gain" importance
+  /// XGBoost reports). Features that never split are omitted.
+  std::map<std::string, double> GainImportance() const;
+  /// Number of times each feature is used in a split.
+  std::map<std::string, int64_t> SplitCountImportance() const;
+  /// Total hessian mass (cover) routed through each feature's splits.
+  std::map<std::string, double> CoverImportance() const;
+
+  /// Serializes the full model (objective, base score, feature names,
+  /// trees) to a line-oriented text format that round-trips exactly.
+  std::string Serialize() const;
+  /// Parses a model produced by Serialize().
+  static Result<GbtModel> Deserialize(const std::string& text);
+  /// File variants.
+  Status SaveToFile(const std::string& path) const;
+  static Result<GbtModel> LoadFromFile(const std::string& path);
+
+ private:
+  friend class Trainer;
+
+  std::vector<RegressionTree> trees_;
+  std::vector<std::string> feature_names_;
+  ObjectiveType objective_type_ = ObjectiveType::kSquaredError;
+  double base_score_ = 0.0;
+  int best_iteration_ = -1;
+};
+
+}  // namespace mysawh::gbt
+
+#endif  // MYSAWH_GBT_GBT_MODEL_H_

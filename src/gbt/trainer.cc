@@ -1,0 +1,427 @@
+#include "gbt/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace mysawh::gbt {
+
+namespace {
+
+constexpr double kMinSplitGain = 1e-10;
+
+/// Soft-thresholding for L1 regularization on the gradient sum.
+double ThresholdL1(double g, double alpha) {
+  if (g > alpha) return g - alpha;
+  if (g < -alpha) return g + alpha;
+  return 0.0;
+}
+
+}  // namespace
+
+Trainer::Trainer(const Dataset& train, const GbtParams& params)
+    : train_(train),
+      params_(params),
+      objective_(MakeObjective(params.objective)),
+      rng_(params.seed),
+      pool_(params.num_threads) {}
+
+double Trainer::LeafWeight(double g, double h) const {
+  return -ThresholdL1(g, params_.reg_alpha) / (h + params_.reg_lambda);
+}
+
+double Trainer::ScoreFn(double g, double h) const {
+  const double t = ThresholdL1(g, params_.reg_alpha);
+  return t * t / (h + params_.reg_lambda);
+}
+
+int Trainer::ConstraintOf(int feature) const {
+  if (params_.monotone_constraints.empty()) return 0;
+  return params_.monotone_constraints[static_cast<size_t>(feature)];
+}
+
+void Trainer::ConsiderSplit(const NodeStats& parent, const NodeStats& miss,
+                            double sum_g_left, double sum_h_left,
+                            int64_t count_left, int feature, double threshold,
+                            int bin, const NodeBounds& bounds,
+                            SplitCandidate* best) const {
+  const double parent_score = ScoreFn(parent.sum_g, parent.sum_h);
+  // Present-value right side = parent - missing - left.
+  const double sum_g_right = parent.sum_g - miss.sum_g - sum_g_left;
+  const double sum_h_right = parent.sum_h - miss.sum_h - sum_h_left;
+  const int64_t count_right = parent.count - miss.count - count_left;
+  for (const bool miss_left : {true, false}) {
+    const double gl = sum_g_left + (miss_left ? miss.sum_g : 0.0);
+    const double hl = sum_h_left + (miss_left ? miss.sum_h : 0.0);
+    const int64_t cl = count_left + (miss_left ? miss.count : 0);
+    const double gr = sum_g_right + (miss_left ? 0.0 : miss.sum_g);
+    const double hr = sum_h_right + (miss_left ? 0.0 : miss.sum_h);
+    const int64_t cr = count_right + (miss_left ? 0 : miss.count);
+    if (cl < params_.min_samples_leaf || cr < params_.min_samples_leaf) {
+      continue;
+    }
+    if (hl < params_.min_child_weight || hr < params_.min_child_weight) {
+      continue;
+    }
+    const double gain =
+        0.5 * (ScoreFn(gl, hl) + ScoreFn(gr, hr) - parent_score) -
+        params_.gamma;
+    if (gain <= kMinSplitGain) continue;
+    // Monotone constraint: reject directions that violate the ordering or
+    // leave the admissible weight interval.
+    const double wl = LeafWeight(gl, hl);
+    const double wr = LeafWeight(gr, hr);
+    const int constraint = ConstraintOf(feature);
+    if (constraint > 0 && wl > wr) continue;
+    if (constraint < 0 && wl < wr) continue;
+    if (wl < bounds.lower || wl > bounds.upper || wr < bounds.lower ||
+        wr > bounds.upper) {
+      continue;
+    }
+    // Deterministic tie-break: larger gain wins; equal gains prefer the
+    // lower feature index, then the smaller threshold.
+    const bool better =
+        !best->valid || gain > best->gain ||
+        (gain == best->gain &&
+         (feature < best->feature ||
+          (feature == best->feature && threshold < best->threshold)));
+    if (better) {
+      best->valid = true;
+      best->feature = feature;
+      best->threshold = threshold;
+      best->bin = bin;
+      best->default_left = miss_left;
+      best->gain = gain;
+      best->weight_left = wl;
+      best->weight_right = wr;
+    }
+  }
+}
+
+Trainer::SplitCandidate Trainer::FindSplitExact(
+    int feature, const std::vector<int64_t>& rows,
+    const std::vector<GradientPair>& gpairs, const NodeStats& parent,
+    const NodeBounds& bounds) const {
+  struct Entry {
+    double value;
+    double g;
+    double h;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(rows.size());
+  NodeStats miss;
+  for (int64_t r : rows) {
+    const double v = train_.At(r, feature);
+    const GradientPair& gp = gpairs[static_cast<size_t>(r)];
+    if (std::isnan(v)) {
+      miss.sum_g += gp.grad;
+      miss.sum_h += gp.hess;
+      ++miss.count;
+    } else {
+      entries.push_back({v, gp.grad, gp.hess});
+    }
+  }
+  SplitCandidate best;
+  if (entries.size() < 2) return best;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.value < b.value; });
+  double sum_g_left = 0.0, sum_h_left = 0.0;
+  int64_t count_left = 0;
+  for (size_t i = 0; i + 1 < entries.size(); ++i) {
+    sum_g_left += entries[i].g;
+    sum_h_left += entries[i].h;
+    ++count_left;
+    if (entries[i].value == entries[i + 1].value) continue;
+    const double threshold = 0.5 * (entries[i].value + entries[i + 1].value);
+    ConsiderSplit(parent, miss, sum_g_left, sum_h_left, count_left, feature,
+                  threshold, /*bin=*/-1, bounds, &best);
+  }
+  return best;
+}
+
+Trainer::SplitCandidate Trainer::FindSplitHist(
+    int feature, const std::vector<int64_t>& rows,
+    const std::vector<GradientPair>& gpairs, const NodeStats& parent,
+    const NodeBounds& bounds) const {
+  const int nb = bins_.num_bins(feature);
+  SplitCandidate best;
+  if (nb < 2) return best;
+  std::vector<double> sum_g(static_cast<size_t>(nb), 0.0);
+  std::vector<double> sum_h(static_cast<size_t>(nb), 0.0);
+  std::vector<int64_t> count(static_cast<size_t>(nb), 0);
+  NodeStats miss;
+  for (int64_t r : rows) {
+    const uint16_t b = binned_.At(r, feature);
+    const GradientPair& gp = gpairs[static_cast<size_t>(r)];
+    if (b == kMissingBin) {
+      miss.sum_g += gp.grad;
+      miss.sum_h += gp.hess;
+      ++miss.count;
+    } else {
+      sum_g[b] += gp.grad;
+      sum_h[b] += gp.hess;
+      ++count[b];
+    }
+  }
+  double acc_g = 0.0, acc_h = 0.0;
+  int64_t acc_c = 0;
+  for (int b = 0; b + 1 < nb; ++b) {
+    acc_g += sum_g[static_cast<size_t>(b)];
+    acc_h += sum_h[static_cast<size_t>(b)];
+    acc_c += count[static_cast<size_t>(b)];
+    if (count[static_cast<size_t>(b)] == 0) continue;  // no boundary change
+    ConsiderSplit(parent, miss, acc_g, acc_h, acc_c, feature,
+                  bins_.cut(feature, b), b, bounds, &best);
+  }
+  return best;
+}
+
+void Trainer::BuildNode(RegressionTree* tree, int node_id,
+                        std::vector<int64_t> rows, int depth,
+                        const std::vector<GradientPair>& gpairs,
+                        const std::vector<int>& features,
+                        const NodeBounds& bounds) {
+  NodeStats stats;
+  for (int64_t r : rows) {
+    stats.sum_g += gpairs[static_cast<size_t>(r)].grad;
+    stats.sum_h += gpairs[static_cast<size_t>(r)].hess;
+  }
+  stats.count = static_cast<int64_t>(rows.size());
+  tree->mutable_node(node_id)->cover = stats.sum_h;
+
+  const bool can_split = depth < params_.max_depth &&
+                         stats.count >= 2 * params_.min_samples_leaf &&
+                         stats.sum_h >= 2 * params_.min_child_weight;
+  SplitCandidate best;
+  if (can_split) {
+    // Per-feature proposals evaluated in parallel, reduced deterministically.
+    std::vector<SplitCandidate> proposals(features.size());
+    pool_.ParallelFor(static_cast<int64_t>(features.size()), [&](int64_t i) {
+      const int f = features[static_cast<size_t>(i)];
+      proposals[static_cast<size_t>(i)] =
+          use_hist_ ? FindSplitHist(f, rows, gpairs, stats, bounds)
+                    : FindSplitExact(f, rows, gpairs, stats, bounds);
+    });
+    for (const auto& p : proposals) {
+      if (!p.valid) continue;
+      const bool better =
+          !best.valid || p.gain > best.gain ||
+          (p.gain == best.gain &&
+           (p.feature < best.feature ||
+            (p.feature == best.feature && p.threshold < best.threshold)));
+      if (better) best = p;
+    }
+  }
+
+  if (!best.valid) {
+    TreeNode* leaf = tree->mutable_node(node_id);
+    const double weight = std::min(
+        bounds.upper,
+        std::max(bounds.lower, LeafWeight(stats.sum_g, stats.sum_h)));
+    leaf->value = params_.learning_rate * weight;
+    return;
+  }
+
+  const auto [left_id, right_id] = tree->Split(
+      node_id, best.feature, best.threshold, best.default_left, best.gain);
+  std::vector<int64_t> left_rows, right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  for (int64_t r : rows) {
+    bool go_left;
+    if (use_hist_) {
+      const uint16_t b = binned_.At(r, best.feature);
+      go_left = (b == kMissingBin) ? best.default_left
+                                   : static_cast<int>(b) <= best.bin;
+    } else {
+      const double v = train_.At(r, best.feature);
+      go_left = std::isnan(v) ? best.default_left : v < best.threshold;
+    }
+    (go_left ? left_rows : right_rows).push_back(r);
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+  // Propagate monotone weight bounds: when this split is constrained, the
+  // children's admissible weights are separated at the midpoint of the
+  // candidate child weights (XGBoost's rule).
+  NodeBounds left_bounds = bounds;
+  NodeBounds right_bounds = bounds;
+  const int constraint = ConstraintOf(best.feature);
+  if (constraint != 0) {
+    const double mid = 0.5 * (best.weight_left + best.weight_right);
+    if (constraint > 0) {
+      left_bounds.upper = std::min(left_bounds.upper, mid);
+      right_bounds.lower = std::max(right_bounds.lower, mid);
+    } else {
+      left_bounds.lower = std::max(left_bounds.lower, mid);
+      right_bounds.upper = std::min(right_bounds.upper, mid);
+    }
+  }
+  BuildNode(tree, left_id, std::move(left_rows), depth + 1, gpairs, features,
+            left_bounds);
+  BuildNode(tree, right_id, std::move(right_rows), depth + 1, gpairs,
+            features, right_bounds);
+}
+
+RegressionTree Trainer::GrowTree(const std::vector<GradientPair>& gpairs,
+                                 std::vector<int64_t> rows,
+                                 const std::vector<int>& features) {
+  RegressionTree tree;
+  const NodeBounds root_bounds{-std::numeric_limits<double>::infinity(),
+                               std::numeric_limits<double>::infinity()};
+  BuildNode(&tree, 0, std::move(rows), 0, gpairs, features, root_bounds);
+  return tree;
+}
+
+Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
+  MYSAWH_RETURN_NOT_OK(params_.Validate());
+  if (train_.num_rows() == 0) {
+    return Status::InvalidArgument("training set is empty");
+  }
+  if (train_.num_features() == 0) {
+    return Status::InvalidArgument("training set has no features");
+  }
+  if (objective_ == nullptr) {
+    return Status::InvalidArgument("unknown objective");
+  }
+  MYSAWH_RETURN_NOT_OK(objective_->ValidateLabels(train_.labels()));
+  if (validation != nullptr &&
+      validation->num_features() != train_.num_features()) {
+    return Status::InvalidArgument("validation feature width mismatch");
+  }
+  if (params_.early_stopping_rounds > 0 && validation == nullptr) {
+    return Status::InvalidArgument(
+        "early stopping requires a validation set");
+  }
+  if (!params_.monotone_constraints.empty() &&
+      static_cast<int64_t>(params_.monotone_constraints.size()) !=
+          train_.num_features()) {
+    return Status::InvalidArgument(
+        "monotone_constraints length must equal the feature count");
+  }
+
+  use_hist_ = params_.tree_method == TreeMethod::kHist;
+  if (use_hist_) {
+    MYSAWH_ASSIGN_OR_RETURN(bins_, FeatureBins::Build(train_, params_.max_bins));
+    binned_ = BinnedMatrix::Build(train_, bins_);
+  }
+
+  GbtModel model;
+  model.feature_names_ = train_.feature_names();
+  model.objective_type_ = params_.objective;
+  model.base_score_ = std::isnan(params_.base_score)
+                          ? objective_->InitialRawPrediction(train_.labels())
+                          : params_.base_score;
+
+  const int64_t n = train_.num_rows();
+  const int64_t nf = train_.num_features();
+  std::vector<double> raw_train(static_cast<size_t>(n), model.base_score_);
+  std::vector<double> raw_valid;
+  if (validation != nullptr) {
+    raw_valid.assign(static_cast<size_t>(validation->num_rows()),
+                     model.base_score_);
+  }
+  if (log != nullptr) log->metric_name = objective_->DefaultMetricName();
+
+  std::vector<GradientPair> gpairs(static_cast<size_t>(n));
+  double best_metric = std::numeric_limits<double>::infinity();
+  int best_round = -1;
+
+  for (int round = 0; round < params_.num_trees; ++round) {
+    for (int64_t i = 0; i < n; ++i) {
+      GradientPair gp = objective_->ComputeGradient(
+          train_.label(i), raw_train[static_cast<size_t>(i)]);
+      if (params_.scale_pos_weight != 1.0 && train_.label(i) == 1.0) {
+        gp.grad *= params_.scale_pos_weight;
+        gp.hess *= params_.scale_pos_weight;
+      }
+      gpairs[static_cast<size_t>(i)] = gp;
+    }
+    // Row subsample.
+    std::vector<int64_t> rows;
+    if (params_.subsample < 1.0) {
+      const auto k = std::max<int64_t>(
+          1, static_cast<int64_t>(std::llround(
+                 static_cast<double>(n) * params_.subsample)));
+      rows = rng_.SampleWithoutReplacement(n, k);
+      std::sort(rows.begin(), rows.end());
+    } else {
+      rows.resize(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) rows[static_cast<size_t>(i)] = i;
+    }
+    // Column subsample.
+    std::vector<int> features;
+    if (params_.colsample_bytree < 1.0) {
+      const auto k = std::max<int64_t>(
+          1, static_cast<int64_t>(std::llround(
+                 static_cast<double>(nf) * params_.colsample_bytree)));
+      for (int64_t f : rng_.SampleWithoutReplacement(nf, k)) {
+        features.push_back(static_cast<int>(f));
+      }
+      std::sort(features.begin(), features.end());
+    } else {
+      features.resize(static_cast<size_t>(nf));
+      for (int64_t f = 0; f < nf; ++f) {
+        features[static_cast<size_t>(f)] = static_cast<int>(f);
+      }
+    }
+
+    RegressionTree tree = GrowTree(gpairs, std::move(rows), features);
+
+    // Update cached raw scores (all rows, not just the subsample).
+    for (int64_t i = 0; i < n; ++i) {
+      raw_train[static_cast<size_t>(i)] += tree.Predict(train_.row(i));
+    }
+    if (validation != nullptr) {
+      for (int64_t i = 0; i < validation->num_rows(); ++i) {
+        raw_valid[static_cast<size_t>(i)] += tree.Predict(validation->row(i));
+      }
+    }
+    model.trees_.push_back(std::move(tree));
+
+    // Metrics.
+    double train_metric = std::numeric_limits<double>::quiet_NaN();
+    double valid_metric = std::numeric_limits<double>::quiet_NaN();
+    if (log != nullptr || validation != nullptr) {
+      std::vector<double> preds(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        preds[static_cast<size_t>(i)] =
+            objective_->Transform(raw_train[static_cast<size_t>(i)]);
+      }
+      train_metric = objective_->EvalDefaultMetric(train_.labels(), preds);
+      if (validation != nullptr) {
+        std::vector<double> vpreds(raw_valid.size());
+        for (size_t i = 0; i < raw_valid.size(); ++i) {
+          vpreds[i] = objective_->Transform(raw_valid[i]);
+        }
+        valid_metric =
+            objective_->EvalDefaultMetric(validation->labels(), vpreds);
+      }
+    }
+    if (log != nullptr) {
+      log->rounds.push_back({round, train_metric, valid_metric});
+    }
+    if (validation != nullptr) {
+      if (valid_metric < best_metric) {
+        best_metric = valid_metric;
+        best_round = round;
+      }
+      if (params_.early_stopping_rounds > 0 &&
+          round - best_round >= params_.early_stopping_rounds) {
+        break;
+      }
+    }
+  }
+
+  if (params_.early_stopping_rounds > 0 && best_round >= 0) {
+    model.trees_.resize(static_cast<size_t>(best_round + 1));
+    model.best_iteration_ = best_round;
+  } else {
+    model.best_iteration_ = static_cast<int>(model.trees_.size()) - 1;
+  }
+  return model;
+}
+
+}  // namespace mysawh::gbt

@@ -1,0 +1,100 @@
+#ifndef MYSAWH_GBT_TRAINER_H_
+#define MYSAWH_GBT_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "gbt/binning.h"
+#include "gbt/gbt_model.h"
+#include "gbt/objective.h"
+#include "gbt/params.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace mysawh::gbt {
+
+/// Internal training engine behind GbtModel::Train. Exposed in a header so
+/// tests can exercise split finding directly, but not part of the stable
+/// public API.
+class Trainer {
+ public:
+  /// The dataset must outlive the trainer.
+  Trainer(const Dataset& train, const GbtParams& params);
+
+  /// Runs boosting and produces the final model.
+  Result<GbtModel> Run(const Dataset* validation, TrainingLog* log);
+
+  /// A scored split proposal for one node.
+  struct SplitCandidate {
+    bool valid = false;
+    int feature = -1;
+    double threshold = 0.0;
+    int bin = -1;             ///< Hist method: split is "bin <= this".
+    bool default_left = true; ///< Learned missing-value direction.
+    double gain = 0.0;
+    double weight_left = 0.0;   ///< Unshrunk child weights (for monotone
+    double weight_right = 0.0;  ///< bound propagation).
+  };
+
+ private:
+  struct NodeStats {
+    double sum_g = 0.0;
+    double sum_h = 0.0;
+    int64_t count = 0;
+  };
+
+  /// Admissible leaf-weight interval enforcing monotone constraints along
+  /// the path from the root.
+  struct NodeBounds {
+    double lower;
+    double upper;
+  };
+
+  double LeafWeight(double g, double h) const;
+  double ScoreFn(double g, double h) const;
+
+  /// Evaluates both missing-direction assignments for a partition
+  /// (left/right exclude missing) and updates `best` in place, skipping
+  /// candidates that violate the feature's monotone constraint or the
+  /// node's weight bounds.
+  void ConsiderSplit(const NodeStats& parent, const NodeStats& miss,
+                     double sum_g_left, double sum_h_left, int64_t count_left,
+                     int feature, double threshold, int bin,
+                     const NodeBounds& bounds, SplitCandidate* best) const;
+
+  SplitCandidate FindSplitExact(int feature, const std::vector<int64_t>& rows,
+                                const std::vector<GradientPair>& gpairs,
+                                const NodeStats& parent,
+                                const NodeBounds& bounds) const;
+  SplitCandidate FindSplitHist(int feature, const std::vector<int64_t>& rows,
+                               const std::vector<GradientPair>& gpairs,
+                               const NodeStats& parent,
+                               const NodeBounds& bounds) const;
+
+  /// Recursively grows the subtree rooted at `node_id` over `rows`.
+  void BuildNode(RegressionTree* tree, int node_id, std::vector<int64_t> rows,
+                 int depth, const std::vector<GradientPair>& gpairs,
+                 const std::vector<int>& features, const NodeBounds& bounds);
+
+  /// The monotone constraint of a feature (0 when none configured).
+  int ConstraintOf(int feature) const;
+
+  /// Grows one tree on the (sub)sampled rows and features.
+  RegressionTree GrowTree(const std::vector<GradientPair>& gpairs,
+                          std::vector<int64_t> rows,
+                          const std::vector<int>& features);
+
+  const Dataset& train_;
+  const GbtParams params_;
+  std::unique_ptr<Objective> objective_;
+  FeatureBins bins_;
+  BinnedMatrix binned_;
+  bool use_hist_ = false;
+  Rng rng_;
+  ThreadPool pool_;
+};
+
+}  // namespace mysawh::gbt
+
+#endif  // MYSAWH_GBT_TRAINER_H_

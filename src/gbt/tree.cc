@@ -1,0 +1,137 @@
+#include "gbt/tree.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace mysawh::gbt {
+
+RegressionTree::RegressionTree() { nodes_.emplace_back(); }
+
+RegressionTree RegressionTree::FromNodes(std::vector<TreeNode> nodes) {
+  RegressionTree tree;
+  if (!nodes.empty()) tree.nodes_ = std::move(nodes);
+  return tree;
+}
+
+int RegressionTree::num_leaves() const {
+  int count = 0;
+  for (const auto& n : nodes_) count += n.IsLeaf() ? 1 : 0;
+  return count;
+}
+
+int RegressionTree::MaxDepth() const {
+  std::function<int(int)> depth = [&](int id) -> int {
+    const TreeNode& n = nodes_[static_cast<size_t>(id)];
+    if (n.IsLeaf()) return 0;
+    return 1 + std::max(depth(n.left), depth(n.right));
+  };
+  return depth(0);
+}
+
+std::pair<int, int> RegressionTree::Split(int node_id, int feature,
+                                          double threshold, bool default_left,
+                                          double gain) {
+  const int left_id = static_cast<int>(nodes_.size());
+  const int right_id = left_id + 1;
+  nodes_.emplace_back();
+  nodes_.emplace_back();
+  TreeNode& node = nodes_[static_cast<size_t>(node_id)];
+  node.left = left_id;
+  node.right = right_id;
+  node.feature = feature;
+  node.threshold = threshold;
+  node.default_left = default_left;
+  node.gain = gain;
+  node.value = 0.0;
+  return {left_id, right_id};
+}
+
+int RegressionTree::GetLeaf(const double* row) const {
+  int id = 0;
+  while (!nodes_[static_cast<size_t>(id)].IsLeaf()) {
+    const TreeNode& n = nodes_[static_cast<size_t>(id)];
+    const double v = row[n.feature];
+    if (std::isnan(v)) {
+      id = n.default_left ? n.left : n.right;
+    } else {
+      id = v < n.threshold ? n.left : n.right;
+    }
+  }
+  return id;
+}
+
+double RegressionTree::Predict(const double* row) const {
+  return nodes_[static_cast<size_t>(GetLeaf(row))].value;
+}
+
+Status RegressionTree::Validate() const {
+  if (nodes_.empty()) return Status::Internal("tree has no nodes");
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const TreeNode& n = nodes_[i];
+    if (n.IsLeaf()) {
+      if (n.right >= 0) {
+        return Status::Internal("leaf with right child at node " +
+                                std::to_string(i));
+      }
+      continue;
+    }
+    if (n.left <= static_cast<int32_t>(i) || n.right <= static_cast<int32_t>(i) ||
+        n.left >= static_cast<int32_t>(nodes_.size()) ||
+        n.right >= static_cast<int32_t>(nodes_.size())) {
+      return Status::Internal("child link out of range at node " +
+                              std::to_string(i));
+    }
+    if (n.feature < 0) {
+      return Status::Internal("internal node without feature at node " +
+                              std::to_string(i));
+    }
+    if (!std::isfinite(n.threshold)) {
+      return Status::Internal("non-finite threshold at node " +
+                              std::to_string(i));
+    }
+    if (n.cover < 0) {
+      return Status::Internal("negative cover at node " + std::to_string(i));
+    }
+    const double child_cover = nodes_[static_cast<size_t>(n.left)].cover +
+                               nodes_[static_cast<size_t>(n.right)].cover;
+    if (child_cover > n.cover + 1e-6 * (1.0 + n.cover)) {
+      return Status::Internal("children cover exceeds parent at node " +
+                              std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string RegressionTree::ToString(
+    const std::vector<std::string>& feature_names) const {
+  std::ostringstream os;
+  std::function<void(int, int)> dump = [&](int id, int indent) {
+    const TreeNode& n = nodes_[static_cast<size_t>(id)];
+    os << std::string(static_cast<size_t>(indent) * 2, ' ');
+    if (n.IsLeaf()) {
+      os << "leaf=" << FormatDouble(n.value, 6) << " cover="
+         << FormatDouble(n.cover, 3) << "\n";
+      return;
+    }
+    std::string fname;
+    if (n.feature < static_cast<int32_t>(feature_names.size())) {
+      fname = feature_names[static_cast<size_t>(n.feature)];
+    } else {
+      fname = "f";
+      fname += std::to_string(n.feature);
+    }
+    os << "[" << fname << " < " << FormatDouble(n.threshold, 6) << "] yes="
+       << n.left << " no=" << n.right
+       << " missing=" << (n.default_left ? n.left : n.right)
+       << " gain=" << FormatDouble(n.gain, 4) << "\n";
+    dump(n.left, indent + 1);
+    dump(n.right, indent + 1);
+  };
+  dump(0, 0);
+  return os.str();
+}
+
+}  // namespace mysawh::gbt

@@ -1,0 +1,74 @@
+#ifndef MYSAWH_GBT_TREE_H_
+#define MYSAWH_GBT_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mysawh::gbt {
+
+/// One node of a regression tree stored in an index-linked array.
+struct TreeNode {
+  int32_t left = -1;        ///< Left child index, -1 for a leaf.
+  int32_t right = -1;       ///< Right child index, -1 for a leaf.
+  int32_t feature = -1;     ///< Split feature index (internal nodes only).
+  double threshold = 0.0;   ///< Rows with value < threshold go left.
+  bool default_left = true; ///< Direction taken when the feature is missing.
+  double value = 0.0;       ///< Leaf weight (leaves only).
+  double gain = 0.0;        ///< Split gain (internal nodes; for importance).
+  double cover = 0.0;       ///< Sum of hessians routed through this node.
+
+  bool IsLeaf() const { return left < 0; }
+};
+
+/// A single regression tree of the boosted ensemble. Navigation rule:
+/// `x[feature] < threshold` goes left, otherwise right; a missing (NaN)
+/// value follows `default_left` — the learned default direction, which is
+/// how the booster consumes sparse/missing clinical data without imputation.
+class RegressionTree {
+ public:
+  /// Creates a tree consisting of a single leaf (the root).
+  RegressionTree();
+
+  /// Rebuilds a tree from a node array (deserialization); callers should
+  /// Validate() the result. Requires at least one node.
+  static RegressionTree FromNodes(std::vector<TreeNode> nodes);
+
+  /// Number of nodes (internal + leaves).
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  /// Number of leaves.
+  int num_leaves() const;
+  /// Length of the longest root-to-leaf path (a single leaf has depth 0).
+  int MaxDepth() const;
+
+  const TreeNode& node(int i) const { return nodes_[static_cast<size_t>(i)]; }
+  TreeNode* mutable_node(int i) { return &nodes_[static_cast<size_t>(i)]; }
+
+  /// Converts leaf `node_id` into an internal node with two fresh leaf
+  /// children; returns {left_id, right_id}. Precondition: node is a leaf.
+  std::pair<int, int> Split(int node_id, int feature, double threshold,
+                            bool default_left, double gain);
+
+  /// Routes a feature row (array of at least the tree's max feature index
+  /// + 1 doubles; NaN = missing) to its leaf and returns the leaf index.
+  int GetLeaf(const double* row) const;
+
+  /// Leaf weight reached by `row`.
+  double Predict(const double* row) const;
+
+  /// Structural validation: child links in range, thresholds finite,
+  /// covers non-negative and children's covers not exceeding the parent's.
+  Status Validate() const;
+
+  /// Multi-line indented dump for debugging and golden tests.
+  std::string ToString(const std::vector<std::string>& feature_names = {}) const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace mysawh::gbt
+
+#endif  // MYSAWH_GBT_TREE_H_

@@ -1,0 +1,52 @@
+#include "linear/dense_solver.h"
+
+#include <cmath>
+
+namespace mysawh::linear {
+
+SquareMatrix::SquareMatrix(int64_t n)
+    : n_(n), data_(static_cast<size_t>(n * n), 0.0) {}
+
+Result<std::vector<double>> CholeskySolve(const SquareMatrix& a,
+                                          const std::vector<double>& b) {
+  const int64_t n = a.dim();
+  if (static_cast<int64_t>(b.size()) != n) {
+    return Status::InvalidArgument("CholeskySolve size mismatch");
+  }
+  // Lower-triangular factor L with A = L L^T.
+  SquareMatrix l(n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      double sum = a.at(i, j);
+      for (int64_t k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return Status::InvalidArgument(
+              "matrix is not positive definite (add regularization)");
+        }
+        l.at(i, j) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+  // Forward substitution: L y = b.
+  std::vector<double> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double sum = b[static_cast<size_t>(i)];
+    for (int64_t k = 0; k < i; ++k) sum -= l.at(i, k) * y[static_cast<size_t>(k)];
+    y[static_cast<size_t>(i)] = sum / l.at(i, i);
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double sum = y[static_cast<size_t>(i)];
+    for (int64_t k = i + 1; k < n; ++k) {
+      sum -= l.at(k, i) * x[static_cast<size_t>(k)];
+    }
+    x[static_cast<size_t>(i)] = sum / l.at(i, i);
+  }
+  return x;
+}
+
+}  // namespace mysawh::linear

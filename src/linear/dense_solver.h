@@ -1,0 +1,39 @@
+#ifndef MYSAWH_LINEAR_DENSE_SOLVER_H_
+#define MYSAWH_LINEAR_DENSE_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mysawh::linear {
+
+/// A small dense square matrix in row-major storage, sized for normal
+/// equations over tens of features (the library's linear baselines).
+class SquareMatrix {
+ public:
+  /// Zero matrix of dimension n x n.
+  explicit SquareMatrix(int64_t n);
+
+  int64_t dim() const { return n_; }
+  double at(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * n_ + c)];
+  }
+  double& at(int64_t r, int64_t c) {
+    return data_[static_cast<size_t>(r * n_ + c)];
+  }
+
+ private:
+  int64_t n_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky
+/// factorization. Fails when A is not (numerically) positive definite or
+/// sizes mismatch.
+Result<std::vector<double>> CholeskySolve(const SquareMatrix& a,
+                                          const std::vector<double>& b);
+
+}  // namespace mysawh::linear
+
+#endif  // MYSAWH_LINEAR_DENSE_SOLVER_H_

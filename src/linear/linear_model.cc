@@ -1,0 +1,196 @@
+#include "linear/linear_model.h"
+
+#include <cmath>
+
+#include "linear/dense_solver.h"
+
+namespace mysawh::linear {
+
+namespace {
+
+/// Column means over present values (0 when a column is entirely missing).
+std::vector<double> ComputeFeatureMeans(const Dataset& data) {
+  const int64_t nf = data.num_features();
+  std::vector<double> means(static_cast<size_t>(nf), 0.0);
+  for (int64_t f = 0; f < nf; ++f) {
+    double sum = 0.0;
+    int64_t count = 0;
+    for (int64_t r = 0; r < data.num_rows(); ++r) {
+      const double v = data.At(r, f);
+      if (!std::isnan(v)) {
+        sum += v;
+        ++count;
+      }
+    }
+    means[static_cast<size_t>(f)] =
+        count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  return means;
+}
+
+double ImputedAt(const Dataset& data, const std::vector<double>& means,
+                 int64_t row, int64_t feature) {
+  const double v = data.At(row, feature);
+  return std::isnan(v) ? means[static_cast<size_t>(feature)] : v;
+}
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+double DotWithImputation(const double* row, const std::vector<double>& weights,
+                         const std::vector<double>& means, double intercept) {
+  double acc = intercept;
+  for (size_t f = 0; f < weights.size(); ++f) {
+    const double v = std::isnan(row[f]) ? means[f] : row[f];
+    acc += weights[f] * v;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<LinearModel> LinearModel::Train(const Dataset& train, double lambda) {
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("training set is empty");
+  }
+  if (lambda < 0.0) return Status::InvalidArgument("lambda must be >= 0");
+  const int64_t nf = train.num_features();
+  const int64_t n = train.num_rows();
+  const int64_t dim = nf + 1;  // + intercept
+
+  LinearModel model;
+  model.feature_names_ = train.feature_names();
+  model.feature_means_ = ComputeFeatureMeans(train);
+
+  // Normal equations with the intercept as an extra all-ones column.
+  SquareMatrix xtx(dim);
+  std::vector<double> xty(static_cast<size_t>(dim), 0.0);
+  std::vector<double> x(static_cast<size_t>(dim));
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t f = 0; f < nf; ++f) {
+      x[static_cast<size_t>(f)] = ImputedAt(train, model.feature_means_, r, f);
+    }
+    x[static_cast<size_t>(nf)] = 1.0;
+    const double y = train.label(r);
+    for (int64_t i = 0; i < dim; ++i) {
+      xty[static_cast<size_t>(i)] += x[static_cast<size_t>(i)] * y;
+      for (int64_t j = 0; j <= i; ++j) {
+        xtx.at(i, j) += x[static_cast<size_t>(i)] * x[static_cast<size_t>(j)];
+      }
+    }
+  }
+  for (int64_t i = 0; i < dim; ++i) {
+    for (int64_t j = i + 1; j < dim; ++j) xtx.at(i, j) = xtx.at(j, i);
+  }
+  // Penalize weights, not the intercept; tiny jitter keeps the intercept
+  // block positive definite for degenerate inputs.
+  for (int64_t f = 0; f < nf; ++f) xtx.at(f, f) += lambda;
+  xtx.at(nf, nf) += 1e-12;
+
+  MYSAWH_ASSIGN_OR_RETURN(std::vector<double> solution,
+                          CholeskySolve(xtx, xty));
+  model.weights_.assign(solution.begin(), solution.end() - 1);
+  model.intercept_ = solution.back();
+  return model;
+}
+
+double LinearModel::PredictRow(const double* row) const {
+  return DotWithImputation(row, weights_, feature_means_, intercept_);
+}
+
+Result<std::vector<double>> LinearModel::Predict(const Dataset& data) const {
+  if (data.num_features() != num_features()) {
+    return Status::InvalidArgument("Predict: dataset width mismatch");
+  }
+  std::vector<double> out(static_cast<size_t>(data.num_rows()));
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    out[static_cast<size_t>(r)] = PredictRow(data.row(r));
+  }
+  return out;
+}
+
+Result<LogisticModel> LogisticModel::Train(const Dataset& train, double lambda,
+                                           int max_iters, double tol) {
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("training set is empty");
+  }
+  if (lambda < 0.0) return Status::InvalidArgument("lambda must be >= 0");
+  if (max_iters < 1) return Status::InvalidArgument("max_iters must be >= 1");
+  for (double y : train.labels()) {
+    if (y != 0.0 && y != 1.0) {
+      return Status::InvalidArgument("logistic labels must be 0 or 1");
+    }
+  }
+  const int64_t nf = train.num_features();
+  const int64_t n = train.num_rows();
+  const int64_t dim = nf + 1;
+
+  LogisticModel model;
+  model.feature_names_ = train.feature_names();
+  model.feature_means_ = ComputeFeatureMeans(train);
+  std::vector<double> beta(static_cast<size_t>(dim), 0.0);
+
+  std::vector<double> x(static_cast<size_t>(dim));
+  for (int iter = 0; iter < max_iters; ++iter) {
+    SquareMatrix hess(dim);
+    std::vector<double> grad(static_cast<size_t>(dim), 0.0);
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t f = 0; f < nf; ++f) {
+        x[static_cast<size_t>(f)] =
+            ImputedAt(train, model.feature_means_, r, f);
+      }
+      x[static_cast<size_t>(nf)] = 1.0;
+      double margin = 0.0;
+      for (int64_t i = 0; i < dim; ++i) {
+        margin += beta[static_cast<size_t>(i)] * x[static_cast<size_t>(i)];
+      }
+      const double p = Sigmoid(margin);
+      const double w = std::max(p * (1.0 - p), 1e-10);
+      const double residual = train.label(r) - p;
+      for (int64_t i = 0; i < dim; ++i) {
+        grad[static_cast<size_t>(i)] += x[static_cast<size_t>(i)] * residual;
+        for (int64_t j = 0; j <= i; ++j) {
+          hess.at(i, j) +=
+              w * x[static_cast<size_t>(i)] * x[static_cast<size_t>(j)];
+        }
+      }
+    }
+    for (int64_t i = 0; i < dim; ++i) {
+      for (int64_t j = i + 1; j < dim; ++j) hess.at(i, j) = hess.at(j, i);
+    }
+    // Ridge on weights: gradient -= lambda * beta, hessian += lambda I.
+    for (int64_t f = 0; f < nf; ++f) {
+      grad[static_cast<size_t>(f)] -= lambda * beta[static_cast<size_t>(f)];
+      hess.at(f, f) += lambda;
+    }
+    hess.at(nf, nf) += 1e-10;
+
+    MYSAWH_ASSIGN_OR_RETURN(std::vector<double> step,
+                            CholeskySolve(hess, grad));
+    double max_step = 0.0;
+    for (int64_t i = 0; i < dim; ++i) {
+      beta[static_cast<size_t>(i)] += step[static_cast<size_t>(i)];
+      max_step = std::max(max_step, std::abs(step[static_cast<size_t>(i)]));
+    }
+    if (max_step < tol) break;
+  }
+  model.weights_.assign(beta.begin(), beta.end() - 1);
+  model.intercept_ = beta.back();
+  return model;
+}
+
+double LogisticModel::PredictRow(const double* row) const {
+  return Sigmoid(DotWithImputation(row, weights_, feature_means_, intercept_));
+}
+
+Result<std::vector<double>> LogisticModel::Predict(const Dataset& data) const {
+  if (data.num_features() != num_features()) {
+    return Status::InvalidArgument("Predict: dataset width mismatch");
+  }
+  std::vector<double> out(static_cast<size_t>(data.num_rows()));
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    out[static_cast<size_t>(r)] = PredictRow(data.row(r));
+  }
+  return out;
+}
+
+}  // namespace mysawh::linear

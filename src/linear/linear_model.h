@@ -1,0 +1,75 @@
+#ifndef MYSAWH_LINEAR_LINEAR_MODEL_H_
+#define MYSAWH_LINEAR_LINEAR_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace mysawh::linear {
+
+/// Ridge-regularized linear regression solved by normal equations. Missing
+/// feature values are mean-imputed with means learned from the training set
+/// (linear models, unlike the GBT, cannot route NaNs).
+class LinearModel {
+ public:
+  LinearModel() = default;
+
+  /// Fits weights minimizing ||y - Xw - b||^2 + lambda ||w||^2.
+  /// `lambda` >= 0 (the intercept is not penalized).
+  static Result<LinearModel> Train(const Dataset& train, double lambda = 1.0);
+
+  /// Prediction for one row of num_features() values (NaN allowed).
+  double PredictRow(const double* row) const;
+  /// Batch prediction.
+  Result<std::vector<double>> Predict(const Dataset& data) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  int64_t num_features() const {
+    return static_cast<int64_t>(feature_names_.size());
+  }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> feature_means_;  // imputation values
+  double intercept_ = 0.0;
+  std::vector<std::string> feature_names_;
+};
+
+/// L2-regularized logistic regression fit by iteratively reweighted least
+/// squares (Newton). Outputs P(y = 1). Labels must be in {0, 1}.
+class LogisticModel {
+ public:
+  LogisticModel() = default;
+
+  /// Fits with ridge penalty `lambda` >= 0; stops after `max_iters` Newton
+  /// steps or when the step's max-norm falls below `tol`.
+  static Result<LogisticModel> Train(const Dataset& train, double lambda = 1.0,
+                                     int max_iters = 50, double tol = 1e-8);
+
+  /// P(y = 1) for one row.
+  double PredictRow(const double* row) const;
+  /// Batch probabilities.
+  Result<std::vector<double>> Predict(const Dataset& data) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+  int64_t num_features() const {
+    return static_cast<int64_t>(feature_names_.size());
+  }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> feature_means_;
+  double intercept_ = 0.0;
+  std::vector<std::string> feature_names_;
+};
+
+}  // namespace mysawh::linear
+
+#endif  // MYSAWH_LINEAR_LINEAR_MODEL_H_

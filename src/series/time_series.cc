@@ -1,0 +1,64 @@
+#include "series/time_series.h"
+
+#include <cmath>
+
+namespace mysawh {
+
+TimeSeries::TimeSeries(std::vector<double> values)
+    : values_(std::move(values)) {}
+
+bool TimeSeries::IsMissing(int64_t i) const {
+  return std::isnan(values_[static_cast<size_t>(i)]);
+}
+
+int64_t TimeSeries::NumMissing() const {
+  int64_t count = 0;
+  for (double v : values_) count += std::isnan(v) ? 1 : 0;
+  return count;
+}
+
+std::vector<Gap> FindGaps(const TimeSeries& series) {
+  std::vector<Gap> gaps;
+  int64_t i = 0;
+  while (i < series.size()) {
+    if (series.IsMissing(i)) {
+      Gap gap{i, 0};
+      while (i < series.size() && series.IsMissing(i)) {
+        ++gap.length;
+        ++i;
+      }
+      gaps.push_back(gap);
+    } else {
+      ++i;
+    }
+  }
+  return gaps;
+}
+
+void GapStats::Merge(const GapStats& other) {
+  const int64_t combined = num_gaps + other.num_gaps;
+  if (combined > 0) {
+    mean_length = (mean_length * static_cast<double>(num_gaps) +
+                   other.mean_length * static_cast<double>(other.num_gaps)) /
+                  static_cast<double>(combined);
+  }
+  num_gaps = combined;
+  total_missing += other.total_missing;
+  max_length = std::max(max_length, other.max_length);
+}
+
+GapStats ComputeGapStats(const TimeSeries& series) {
+  GapStats stats;
+  for (const Gap& gap : FindGaps(series)) {
+    ++stats.num_gaps;
+    stats.total_missing += gap.length;
+    stats.max_length = std::max(stats.max_length, gap.length);
+  }
+  if (stats.num_gaps > 0) {
+    stats.mean_length = static_cast<double>(stats.total_missing) /
+                        static_cast<double>(stats.num_gaps);
+  }
+  return stats;
+}
+
+}  // namespace mysawh

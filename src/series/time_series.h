@@ -1,0 +1,61 @@
+#ifndef MYSAWH_SERIES_TIME_SERIES_H_
+#define MYSAWH_SERIES_TIME_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mysawh {
+
+/// A regularly sampled series (one value per time step, e.g. one PRO answer
+/// per month). Missing observations are quiet NaN.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  /// Wraps `values`; NaN entries are gaps.
+  explicit TimeSeries(std::vector<double> values);
+
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+  double at(int64_t i) const { return values_[static_cast<size_t>(i)]; }
+  void set(int64_t i, double v) { values_[static_cast<size_t>(i)] = v; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// True when the entry at `i` is missing (NaN).
+  bool IsMissing(int64_t i) const;
+
+  /// Number of missing entries.
+  int64_t NumMissing() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// One maximal run of consecutive missing observations.
+struct Gap {
+  int64_t start = 0;   ///< Index of the first missing entry.
+  int64_t length = 0;  ///< Number of consecutive missing entries.
+};
+
+/// Aggregate gap statistics of a series or collection of series, mirroring
+/// the quality-assurance numbers the paper reports (average gap length ~5,
+/// max 17; ~108 gaps per patient).
+struct GapStats {
+  int64_t num_gaps = 0;
+  int64_t total_missing = 0;
+  int64_t max_length = 0;
+  double mean_length = 0.0;
+
+  /// Merges another set of gap statistics into this one.
+  void Merge(const GapStats& other);
+};
+
+/// Finds every maximal missing run in `series`.
+std::vector<Gap> FindGaps(const TimeSeries& series);
+
+/// Computes gap statistics of a single series.
+GapStats ComputeGapStats(const TimeSeries& series);
+
+}  // namespace mysawh
+
+#endif  // MYSAWH_SERIES_TIME_SERIES_H_

@@ -1,0 +1,37 @@
+#ifndef MYSAWH_UTIL_CSV_H_
+#define MYSAWH_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mysawh {
+
+/// An in-memory CSV document: a header row plus data rows of equal width.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or error if absent.
+  Result<int> ColumnIndex(const std::string& name) const;
+};
+
+/// Reads a CSV file (comma-separated, first row is the header, RFC-4180
+/// quoting with `"` and doubled quotes). Fails when a data row's width
+/// differs from the header's.
+Result<CsvDocument> ReadCsv(const std::string& path);
+
+/// Parses CSV from a string; same rules as ReadCsv.
+Result<CsvDocument> ParseCsv(const std::string& content);
+
+/// Writes a CSV file, quoting fields that contain commas, quotes or
+/// newlines.
+Status WriteCsv(const std::string& path, const CsvDocument& doc);
+
+/// Serializes to a CSV string.
+std::string CsvToString(const CsvDocument& doc);
+
+}  // namespace mysawh
+
+#endif  // MYSAWH_UTIL_CSV_H_

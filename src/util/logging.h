@@ -1,0 +1,90 @@
+#ifndef MYSAWH_UTIL_LOGGING_H_
+#define MYSAWH_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mysawh {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global log configuration. Messages below `threshold` are discarded.
+class Logger {
+ public:
+  /// Returns the process-wide logger threshold.
+  static LogLevel threshold();
+  /// Sets the process-wide logger threshold.
+  static void SetThreshold(LogLevel level);
+};
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// Fatal messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement whose level is statically disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+/// Streams a message at the given severity:
+///   MYSAWH_LOG(kInfo) << "trained " << n << " trees";
+#define MYSAWH_LOG(level)                                     \
+  ::mysawh::internal_logging::LogMessage(::mysawh::LogLevel::level, \
+                                         __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false. Active in all builds:
+/// invariant violations in a data pipeline must never be silently ignored.
+#define MYSAWH_CHECK(condition)                                         \
+  if (!(condition))                                                     \
+  ::mysawh::internal_logging::LogMessage(::mysawh::LogLevel::kFatal,    \
+                                         __FILE__, __LINE__)            \
+      << "Check failed: " #condition " "
+
+#define MYSAWH_CHECK_OP_(a, b, op) MYSAWH_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define MYSAWH_CHECK_EQ(a, b) MYSAWH_CHECK_OP_(a, b, ==)
+#define MYSAWH_CHECK_NE(a, b) MYSAWH_CHECK_OP_(a, b, !=)
+#define MYSAWH_CHECK_LT(a, b) MYSAWH_CHECK_OP_(a, b, <)
+#define MYSAWH_CHECK_LE(a, b) MYSAWH_CHECK_OP_(a, b, <=)
+#define MYSAWH_CHECK_GT(a, b) MYSAWH_CHECK_OP_(a, b, >)
+#define MYSAWH_CHECK_GE(a, b) MYSAWH_CHECK_OP_(a, b, >=)
+
+/// Debug-only check; compiles out in NDEBUG builds.
+#ifdef NDEBUG
+#define MYSAWH_DCHECK(condition) \
+  if (false) ::mysawh::internal_logging::NullStream()
+#else
+#define MYSAWH_DCHECK(condition) MYSAWH_CHECK(condition)
+#endif
+
+}  // namespace mysawh
+
+#endif  // MYSAWH_UTIL_LOGGING_H_

@@ -1,0 +1,149 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mysawh {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+Result<double> Quantile(const std::vector<double>& values, double q) {
+  if (values.empty()) {
+    return Status::InvalidArgument("Quantile of empty vector");
+  }
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("quantile q must be in [0, 1]");
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(std::floor(pos));
+  const auto hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Result<double> Median(const std::vector<double>& values) {
+  return Quantile(values, 0.5);
+}
+
+Result<double> PearsonCorrelation(const std::vector<double>& x,
+                                  const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("correlation inputs differ in length");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("correlation needs at least 2 points");
+  }
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::string BoxStats::ToString() const {
+  std::ostringstream os;
+  os << "min=" << min << " q1=" << q1 << " med=" << median << " q3=" << q3
+     << " max=" << max << " outliers=" << outliers.size();
+  return os.str();
+}
+
+Result<BoxStats> ComputeBoxStats(const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("ComputeBoxStats on empty vector");
+  }
+  BoxStats box;
+  MYSAWH_ASSIGN_OR_RETURN(box.q1, Quantile(values, 0.25));
+  MYSAWH_ASSIGN_OR_RETURN(box.median, Quantile(values, 0.5));
+  MYSAWH_ASSIGN_OR_RETURN(box.q3, Quantile(values, 0.75));
+  box.iqr = box.q3 - box.q1;
+  const double lo_fence = box.q1 - 1.5 * box.iqr;
+  const double hi_fence = box.q3 + 1.5 * box.iqr;
+  box.min = box.q1;
+  box.max = box.q3;
+  bool have_inlier = false;
+  for (double v : values) {
+    if (v < lo_fence || v > hi_fence) {
+      box.outliers.push_back(v);
+    } else {
+      if (!have_inlier) {
+        box.min = box.max = v;
+        have_inlier = true;
+      } else {
+        box.min = std::min(box.min, v);
+        box.max = std::max(box.max, v);
+      }
+    }
+  }
+  std::sort(box.outliers.begin(), box.outliers.end());
+  return box;
+}
+
+Result<Histogram> ComputeHistogram(const std::vector<double>& values,
+                                   const std::vector<double>& edges) {
+  if (edges.size() < 2) {
+    return Status::InvalidArgument("histogram needs at least 2 edges");
+  }
+  for (size_t i = 1; i < edges.size(); ++i) {
+    if (edges[i] <= edges[i - 1]) {
+      return Status::InvalidArgument("histogram edges must strictly increase");
+    }
+  }
+  Histogram hist;
+  hist.edges = edges;
+  hist.counts.assign(edges.size() - 1, 0);
+  for (double v : values) {
+    if (v < edges.front()) {
+      ++hist.below;
+    } else if (v >= edges.back()) {
+      ++hist.above;
+    } else {
+      const auto it = std::upper_bound(edges.begin(), edges.end(), v);
+      const auto bin = static_cast<size_t>(it - edges.begin()) - 1;
+      ++hist.counts[bin];
+    }
+  }
+  return hist;
+}
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace mysawh

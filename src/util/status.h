@@ -1,0 +1,176 @@
+#ifndef MYSAWH_UTIL_STATUS_H_
+#define MYSAWH_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace mysawh {
+
+/// Machine-readable category of a `Status`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kAlreadyExists = 5,
+  kIoError = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns the canonical lowercase name of `code` (e.g. "invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail without exceptions.
+///
+/// This follows the Arrow/RocksDB idiom: functions that can fail return a
+/// `Status` (or a `Result<T>`, below) instead of throwing. The zero-argument
+/// constructor and `Status::Ok()` build the success value; factory functions
+/// build each error category with a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Success.
+  static Status Ok() { return Status(); }
+  /// The caller supplied an invalid argument.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// A requested entity was not found.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// An index or value was outside its permitted range.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// The operation was rejected because the system is not in the required
+  /// state (e.g. predicting with an untrained model).
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// The entity the caller attempted to create already exists.
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// A filesystem or serialization error.
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  /// The requested feature is not implemented.
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// An invariant was violated; indicates a bug in this library.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Never both.
+///
+/// Usage:
+///   Result<Dataset> r = LoadDataset(path);
+///   if (!r.ok()) return r.status();
+///   Dataset d = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor): mirrors absl.
+      : value_(std::move(value)) {}
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value. Aborts with the error message when !ok() —
+  /// accessing the value of a failed Result is always a caller bug, and an
+  /// immediate loud failure beats undefined behaviour in a data pipeline.
+  const T& value() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& value() & {
+    DieIfError();
+    return *value_;
+  }
+  T&& value() && {
+    DieIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  void DieIfError() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define MYSAWH_RETURN_NOT_OK(expr)                \
+  do {                                            \
+    ::mysawh::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error; otherwise binds
+/// the moved value to `lhs`.
+#define MYSAWH_ASSIGN_OR_RETURN(lhs, rexpr)               \
+  MYSAWH_ASSIGN_OR_RETURN_IMPL_(                          \
+      MYSAWH_STATUS_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define MYSAWH_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define MYSAWH_STATUS_CONCAT_(a, b) MYSAWH_STATUS_CONCAT_IMPL_(a, b)
+#define MYSAWH_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace mysawh
+
+#endif  // MYSAWH_UTIL_STATUS_H_

@@ -1,0 +1,114 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+namespace mysawh {
+
+std::vector<std::string> Split(std::string_view input, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = input.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      break;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(delim);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string Trim(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return std::string(input.substr(begin, end - begin));
+}
+
+Result<double> ParseDouble(std::string_view input) {
+  const std::string s = Trim(input);
+  if (s.empty()) return Status::InvalidArgument("empty numeric field");
+  errno = 0;
+  char* endp = nullptr;
+  const double value = std::strtod(s.c_str(), &endp);
+  if (endp != s.c_str() + s.size()) {
+    return Status::InvalidArgument("not a number: '" + s + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange("numeric overflow: '" + s + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDoubleAllowMissing(std::string_view input) {
+  const std::string s = Trim(input);
+  if (s.empty() || s == "nan" || s == "NaN" || s == "NA") {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return ParseDouble(s);
+}
+
+Result<int64_t> ParseInt64(std::string_view input) {
+  const std::string s = Trim(input);
+  if (s.empty()) return Status::InvalidArgument("empty integer field");
+  errno = 0;
+  char* endp = nullptr;
+  const long long value = std::strtoll(s.c_str(), &endp, 10);
+  if (endp != s.c_str() + s.size()) {
+    return Status::InvalidArgument("not an integer: '" + s + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer overflow: '" + s + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+std::string FormatDouble(double value, int digits) {
+  if (std::isnan(value)) return "nan";
+  std::ostringstream os;
+  os.precision(digits);
+  os << std::fixed << value;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    size_t last = s.find_last_not_of('0');
+    if (s[last] == '.') --last;
+    s.erase(last + 1);
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string FormatPercent(double value, int decimals) {
+  std::ostringstream os;
+  os.precision(decimals);
+  os << std::fixed << value * 100.0 << "%";
+  return os.str();
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace mysawh

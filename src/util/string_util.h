@@ -1,0 +1,44 @@
+#ifndef MYSAWH_UTIL_STRING_UTIL_H_
+#define MYSAWH_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mysawh {
+
+/// Splits `input` on every occurrence of `delim`; preserves empty fields.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(std::string_view input);
+
+/// Parses a double; fails on empty input or trailing garbage. The strings
+/// "nan" / "NaN" / "" parse via ParseDoubleAllowMissing only.
+Result<double> ParseDouble(std::string_view input);
+
+/// Parses a double, mapping empty strings and "nan"/"NaN"/"NA" to quiet NaN.
+Result<double> ParseDoubleAllowMissing(std::string_view input);
+
+/// Parses a base-10 64-bit integer; fails on empty input or trailing garbage.
+Result<int64_t> ParseInt64(std::string_view input);
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("1.25", "3", "0.001").
+std::string FormatDouble(double value, int digits = 6);
+
+/// Formats `value` (in [0, 1]) as a percentage string like "94.3%".
+std::string FormatPercent(double value, int decimals = 1);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace mysawh
+
+#endif  // MYSAWH_UTIL_STRING_UTIL_H_

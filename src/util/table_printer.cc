@@ -1,0 +1,71 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace mysawh {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  MYSAWH_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_rule = [&] {
+    std::string line = "+";
+    for (size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += " " + row[i] + std::string(widths[i] - row[i].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_rule() + render_row(header_) + render_rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? render_rule() : render_row(row);
+  }
+  out += render_rule();
+  return out;
+}
+
+std::string RenderBarChart(const std::vector<std::string>& labels,
+                           const std::vector<double>& values, int max_width) {
+  MYSAWH_CHECK_EQ(labels.size(), values.size());
+  double max_value = 0.0;
+  size_t label_width = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    max_value = std::max(max_value, values[i]);
+    label_width = std::max(label_width, labels[i].size());
+  }
+  std::ostringstream os;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const int width =
+        max_value > 0
+            ? static_cast<int>(values[i] / max_value * max_width + 0.5)
+            : 0;
+    os << labels[i] << std::string(label_width - labels[i].size(), ' ')
+       << " | " << std::string(static_cast<size_t>(width), '#') << " "
+       << FormatDouble(values[i], 4) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mysawh

@@ -1,0 +1,40 @@
+#ifndef MYSAWH_UTIL_TABLE_PRINTER_H_
+#define MYSAWH_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace mysawh {
+
+/// Renders aligned monospace tables for the benchmark harness, so each bench
+/// binary prints the same rows the paper's tables/figures report.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; width must equal the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator line at this position.
+  void AddSeparator();
+
+  /// Renders with column padding and a header rule.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a labelled horizontal ASCII bar chart (used by benches that
+/// reproduce histogram figures). `max_width` is the bar length of the
+/// largest value.
+std::string RenderBarChart(const std::vector<std::string>& labels,
+                           const std::vector<double>& values,
+                           int max_width = 50);
+
+}  // namespace mysawh
+
+#endif  // MYSAWH_UTIL_TABLE_PRINTER_H_

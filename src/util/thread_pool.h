@@ -1,0 +1,55 @@
+#ifndef MYSAWH_UTIL_THREAD_POOL_H_
+#define MYSAWH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mysawh {
+
+/// A fixed-size worker pool used to parallelize per-feature split finding
+/// and batch prediction. With `num_threads <= 1` all work runs inline on the
+/// calling thread, which keeps single-core environments overhead-free and
+/// makes results trivially deterministic.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (0 or 1 means inline execution).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 when running inline).
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task`; it may run on any worker (or inline).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs `fn(i)` for i in [0, count), partitioned into contiguous chunks
+  /// across the pool, and blocks until all iterations complete. `fn` must be
+  /// safe to call concurrently for distinct i.
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace mysawh
+
+#endif  // MYSAWH_UTIL_THREAD_POOL_H_

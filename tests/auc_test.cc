@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.h"
+#include "util/rng.h"
+
+namespace mysawh::core {
+namespace {
+
+TEST(RocAucTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(RocAuc({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9}).value(), 1.0);
+}
+
+TEST(RocAucTest, PerfectlyWrongRanking) {
+  EXPECT_DOUBLE_EQ(RocAuc({0, 0, 1, 1}, {0.9, 0.8, 0.2, 0.1}).value(), 0.0);
+}
+
+TEST(RocAucTest, AllTiedScoresIsChance) {
+  EXPECT_DOUBLE_EQ(RocAuc({0, 1, 0, 1}, {0.5, 0.5, 0.5, 0.5}).value(), 0.5);
+}
+
+TEST(RocAucTest, HandComputedMixedCase) {
+  // positives {0.8, 0.4}, negatives {0.5, 0.2}.
+  // Pairs: (0.8>0.5)=1, (0.8>0.2)=1, (0.4<0.5)=0, (0.4>0.2)=1 -> 3/4.
+  EXPECT_DOUBLE_EQ(RocAuc({1, 0, 1, 0}, {0.8, 0.5, 0.4, 0.2}).value(), 0.75);
+}
+
+TEST(RocAucTest, TiesCountHalf) {
+  // positive 0.5 ties negative 0.5 -> 0.5 credit of 1 pair.
+  EXPECT_DOUBLE_EQ(RocAuc({1, 0}, {0.5, 0.5}).value(), 0.5);
+}
+
+TEST(RocAucTest, InvarianceToMonotoneTransform) {
+  Rng rng(1);
+  std::vector<double> labels, scores, squashed;
+  for (int i = 0; i < 500; ++i) {
+    const double s = rng.Uniform(-3, 3);
+    labels.push_back(rng.Bernoulli(1.0 / (1.0 + std::exp(-s))) ? 1.0 : 0.0);
+    scores.push_back(s);
+    squashed.push_back(1.0 / (1.0 + std::exp(-s)));  // sigmoid
+  }
+  EXPECT_NEAR(RocAuc(labels, scores).value(),
+              RocAuc(labels, squashed).value(), 1e-12);
+  EXPECT_GT(RocAuc(labels, scores).value(), 0.7);
+}
+
+TEST(RocAucTest, Validation) {
+  EXPECT_FALSE(RocAuc({}, {}).ok());
+  EXPECT_FALSE(RocAuc({1.0}, {0.5, 0.6}).ok());
+  EXPECT_FALSE(RocAuc({1, 1}, {0.5, 0.6}).ok());   // one class only
+  EXPECT_FALSE(RocAuc({0, 0}, {0.5, 0.6}).ok());
+  EXPECT_FALSE(RocAuc({0, 0.5}, {0.5, 0.6}).ok()); // non-binary label
+}
+
+TEST(BrierScoreTest, HandComputed) {
+  EXPECT_DOUBLE_EQ(BrierScore({1, 0}, {1.0, 0.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(BrierScore({1, 0}, {0.5, 0.5}).value(), 0.25);
+  EXPECT_NEAR(BrierScore({1, 0, 1}, {0.8, 0.3, 0.6}).value(),
+              (0.04 + 0.09 + 0.16) / 3.0, 1e-12);
+}
+
+TEST(BrierScoreTest, Validation) {
+  EXPECT_FALSE(BrierScore({}, {}).ok());
+  EXPECT_FALSE(BrierScore({0.5}, {0.5}).ok());
+  EXPECT_FALSE(BrierScore({1.0}, {0.5, 0.6}).ok());
+}
+
+TEST(CalibrationTest, PerfectlyCalibratedModel) {
+  Rng rng(2);
+  std::vector<double> labels, probs;
+  for (int i = 0; i < 20000; ++i) {
+    const double p = rng.Uniform();
+    probs.push_back(p);
+    labels.push_back(rng.Bernoulli(p) ? 1.0 : 0.0);
+  }
+  const auto bins = ComputeCalibrationBins(labels, probs, 10).value();
+  ASSERT_EQ(bins.size(), 10u);
+  for (const auto& bin : bins) {
+    EXPECT_NEAR(bin.observed_rate, bin.mean_predicted, 0.05);
+    EXPECT_GT(bin.count, 0);
+  }
+}
+
+TEST(CalibrationTest, OverconfidentModelShowsGap) {
+  // Model always predicts 0.95 but the true rate is 0.5.
+  std::vector<double> labels, probs;
+  for (int i = 0; i < 100; ++i) {
+    labels.push_back(i % 2 == 0 ? 1.0 : 0.0);
+    probs.push_back(0.95);
+  }
+  const auto bins = ComputeCalibrationBins(labels, probs, 10).value();
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_NEAR(bins[0].mean_predicted, 0.95, 1e-12);
+  EXPECT_NEAR(bins[0].observed_rate, 0.5, 1e-12);
+  EXPECT_EQ(bins[0].count, 100);
+}
+
+TEST(CalibrationTest, ProbabilityOneLandsInLastBin) {
+  const auto bins =
+      ComputeCalibrationBins({1.0, 0.0}, {1.0, 0.0}, 4).value();
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins.front().count, 1);
+  EXPECT_EQ(bins.back().count, 1);
+  EXPECT_DOUBLE_EQ(bins.back().mean_predicted, 1.0);
+}
+
+TEST(CalibrationTest, Validation) {
+  EXPECT_FALSE(ComputeCalibrationBins({}, {}).ok());
+  EXPECT_FALSE(ComputeCalibrationBins({1.0}, {0.5}, 0).ok());
+  EXPECT_FALSE(ComputeCalibrationBins({1.0}, {1.5}).ok());
+  EXPECT_FALSE(ComputeCalibrationBins({0.3}, {0.5}).ok());
+}
+
+}  // namespace
+}  // namespace mysawh::core

@@ -1,0 +1,37 @@
+#!/bin/sh
+# End-to-end smoke test of mysawh_cli: generate -> train -> predict ->
+# evaluate -> explain -> importance, verifying outputs exist and the
+# pipeline round-trips through CSV and the model file.
+set -e
+CLI="$1"
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+cd "$WORKDIR"
+
+"$CLI" help > /dev/null
+
+"$CLI" generate --outcome SPPB --seed 7 --out-prefix smoke_ | grep -q "retained"
+test -f smoke_dd_fi.csv
+test -f smoke_kd.csv
+
+"$CLI" train --data smoke_dd_fi.csv --num-trees 25 --out smoke.model \
+  | grep -q "trained 25 trees"
+test -f smoke.model
+
+"$CLI" predict --model smoke.model --data smoke_dd_fi.csv --out preds.csv
+test -f preds.csv
+# Header plus one line per sample.
+rows=$(wc -l < preds.csv)
+test "$rows" -gt 1000
+
+"$CLI" evaluate --model smoke.model --data smoke_dd_fi.csv | grep -q "1-MAPE"
+"$CLI" explain --model smoke.model --data smoke_dd_fi.csv --row 2 --top 3 \
+  | grep -q "prediction="
+"$CLI" importance --model smoke.model --type gain | grep -q "fi_baseline"
+
+# Unknown command fails with usage.
+if "$CLI" bogus 2> /dev/null; then
+  echo "expected failure for unknown command" >&2
+  exit 1
+fi
+echo "cli smoke test passed"

@@ -1,0 +1,139 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mysawh {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Dataset MakeSample() {
+  Dataset ds = Dataset::Create({"f0", "f1"});
+  EXPECT_TRUE(ds.AddRow({1.0, 2.0}, 10.0).ok());
+  EXPECT_TRUE(ds.AddRow({3.0, kNaN}, 20.0).ok());
+  EXPECT_TRUE(ds.AddRow({5.0, 6.0}, 30.0).ok());
+  EXPECT_TRUE(ds.SetAttribute("clinic", {0, 1, 2}).ok());
+  return ds;
+}
+
+TEST(DatasetTest, ShapeAndAccess) {
+  const Dataset ds = MakeSample();
+  EXPECT_EQ(ds.num_rows(), 3);
+  EXPECT_EQ(ds.num_features(), 2);
+  EXPECT_DOUBLE_EQ(ds.At(0, 1), 2.0);
+  EXPECT_TRUE(std::isnan(ds.At(1, 1)));
+  EXPECT_DOUBLE_EQ(ds.label(2), 30.0);
+  EXPECT_DOUBLE_EQ(ds.row(2)[0], 5.0);
+}
+
+TEST(DatasetTest, FeatureIndex) {
+  const Dataset ds = MakeSample();
+  EXPECT_EQ(ds.FeatureIndex("f1").value(), 1);
+  EXPECT_FALSE(ds.FeatureIndex("zz").ok());
+}
+
+TEST(DatasetTest, AddRowWidthChecked) {
+  Dataset ds = Dataset::Create({"a"});
+  EXPECT_FALSE(ds.AddRow({1.0, 2.0}, 0.0).ok());
+}
+
+TEST(DatasetTest, AddRowAfterAttributesRejected) {
+  Dataset ds = MakeSample();
+  EXPECT_FALSE(ds.AddRow({1.0, 1.0}, 0.0).ok());
+}
+
+TEST(DatasetTest, FeatureColumn) {
+  const Dataset ds = MakeSample();
+  const auto col = ds.FeatureColumn(0);
+  EXPECT_EQ(col, (std::vector<double>{1.0, 3.0, 5.0}));
+}
+
+TEST(DatasetTest, AttributesFollowTake) {
+  const Dataset ds = MakeSample();
+  const Dataset taken = ds.Take({2, 0}).value();
+  EXPECT_EQ(taken.num_rows(), 2);
+  EXPECT_DOUBLE_EQ(taken.label(0), 30.0);
+  EXPECT_DOUBLE_EQ(taken.At(1, 0), 1.0);
+  const auto* clinic = taken.Attribute("clinic").value();
+  EXPECT_EQ(*clinic, (std::vector<int64_t>{2, 0}));
+}
+
+TEST(DatasetTest, TakeOutOfRangeFails) {
+  const Dataset ds = MakeSample();
+  EXPECT_FALSE(ds.Take({5}).ok());
+  EXPECT_FALSE(ds.Take({-1}).ok());
+}
+
+TEST(DatasetTest, AttributeLengthChecked) {
+  Dataset ds = MakeSample();
+  EXPECT_FALSE(ds.SetAttribute("bad", {1, 2}).ok());
+  EXPECT_FALSE(ds.Attribute("unknown").ok());
+  EXPECT_TRUE(ds.HasAttribute("clinic"));
+}
+
+TEST(DatasetTest, AppendChecksSchema) {
+  Dataset a = MakeSample();
+  const Dataset b = MakeSample();
+  ASSERT_TRUE(a.Append(b).ok());
+  EXPECT_EQ(a.num_rows(), 6);
+  EXPECT_EQ(a.Attribute("clinic").value()->size(), 6u);
+  Dataset c = Dataset::Create({"other"});
+  ASSERT_TRUE(c.AddRow({1.0}, 0.0).ok());
+  EXPECT_FALSE(a.Append(c).ok());
+}
+
+TEST(DatasetTest, FromTable) {
+  Table t;
+  ASSERT_TRUE(t.AddNumericColumn("a", {1, 2}).ok());
+  ASSERT_TRUE(t.AddNumericColumn("b", {3, 4}).ok());
+  ASSERT_TRUE(t.AddNumericColumn("y", {0, 1}).ok());
+  ASSERT_TRUE(t.AddNumericColumn("grp", {7, 8}).ok());
+  const Dataset ds = Dataset::FromTable(t, {"b", "a"}, "y", {"grp"}).value();
+  EXPECT_EQ(ds.num_features(), 2);
+  EXPECT_DOUBLE_EQ(ds.At(0, 0), 3.0);  // column order follows request
+  EXPECT_DOUBLE_EQ(ds.At(0, 1), 1.0);
+  EXPECT_EQ(*ds.Attribute("grp").value(), (std::vector<int64_t>{7, 8}));
+}
+
+TEST(DatasetTest, ToTableRoundTripsThroughFromTable) {
+  const Dataset ds = MakeSample();
+  const Table table = ds.ToTable().value();
+  EXPECT_EQ(table.num_rows(), ds.num_rows());
+  EXPECT_TRUE(table.HasColumn("label"));
+  EXPECT_TRUE(table.HasColumn("clinic"));
+  const Dataset back =
+      Dataset::FromTable(table, {"f0", "f1"}, "label", {"clinic"}).value();
+  EXPECT_EQ(back.num_rows(), ds.num_rows());
+  for (int64_t r = 0; r < ds.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(back.label(r), ds.label(r));
+    for (int64_t f = 0; f < ds.num_features(); ++f) {
+      if (std::isnan(ds.At(r, f))) {
+        EXPECT_TRUE(std::isnan(back.At(r, f)));
+      } else {
+        EXPECT_DOUBLE_EQ(back.At(r, f), ds.At(r, f));
+      }
+    }
+  }
+  EXPECT_EQ(*back.Attribute("clinic").value(),
+            *ds.Attribute("clinic").value());
+}
+
+TEST(DatasetTest, ToTableRejectsLabelNameClash) {
+  Dataset ds = Dataset::Create({"label"});
+  ASSERT_TRUE(ds.AddRow({1.0}, 2.0).ok());
+  EXPECT_FALSE(ds.ToTable().ok());
+}
+
+TEST(DatasetTest, FromTableRejectsFractionalAttribute) {
+  Table t;
+  ASSERT_TRUE(t.AddNumericColumn("a", {1}).ok());
+  ASSERT_TRUE(t.AddNumericColumn("y", {0}).ok());
+  ASSERT_TRUE(t.AddNumericColumn("frac", {1.5}).ok());
+  EXPECT_FALSE(Dataset::FromTable(t, {"a"}, "y", {"frac"}).ok());
+}
+
+}  // namespace
+}  // namespace mysawh

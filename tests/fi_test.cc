@@ -1,0 +1,54 @@
+#include "core/fi.h"
+
+#include <gtest/gtest.h>
+
+#include "cohort/simulator.h"
+
+namespace mysawh::core {
+namespace {
+
+TEST(FrailtyIndexTest, ProportionOfDeficits) {
+  EXPECT_DOUBLE_EQ(ComputeFrailtyIndex({1, 0, 0, 1}).value(), 0.5);
+  EXPECT_DOUBLE_EQ(ComputeFrailtyIndex({0, 0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(ComputeFrailtyIndex({1, 1, 1}).value(), 1.0);
+}
+
+TEST(FrailtyIndexTest, GradedDeficitsAllowed) {
+  EXPECT_DOUBLE_EQ(ComputeFrailtyIndex({0.5, 0.5}).value(), 0.5);
+}
+
+TEST(FrailtyIndexTest, RejectsEmptyAndOutOfRange) {
+  EXPECT_FALSE(ComputeFrailtyIndex({}).ok());
+  EXPECT_FALSE(ComputeFrailtyIndex({1.5}).ok());
+  EXPECT_FALSE(ComputeFrailtyIndex({-0.1}).ok());
+}
+
+TEST(FrailtyIndexTest, TrajectoryCorrelatesWithLatentFrailty) {
+  cohort::CohortConfig config;
+  config.seed = 3;
+  config.clinics = {{"A", 60, 0.0, 1.0}};
+  const auto cohort = cohort::CohortSimulator(config).Generate().value();
+  double frail_sum_high = 0, frail_sum_low = 0;
+  int64_t high = 0, low = 0;
+  for (const auto& patient : cohort.patients) {
+    const auto fi = PatientFrailtyTrajectory(patient).value();
+    ASSERT_EQ(fi.size(), 3u);
+    for (double v : fi) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    if (patient.frailty > 0.5) {
+      frail_sum_high += fi[0];
+      ++high;
+    } else if (patient.frailty < 0.3) {
+      frail_sum_low += fi[0];
+      ++low;
+    }
+  }
+  ASSERT_GT(high, 0);
+  ASSERT_GT(low, 0);
+  EXPECT_GT(frail_sum_high / high, frail_sum_low / low + 0.1);
+}
+
+}  // namespace
+}  // namespace mysawh::core

@@ -1,0 +1,64 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace mysawh {
+namespace {
+
+Result<FlagParser> ParseArgs(std::vector<const char*> args) {
+  return FlagParser::Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, CommandAndFlags) {
+  const auto parser =
+      ParseArgs({"train", "--data", "x.csv", "--num-trees", "50"}).value();
+  EXPECT_EQ(parser.command(), "train");
+  EXPECT_EQ(parser.GetString("data"), "x.csv");
+  EXPECT_EQ(parser.GetInt("num-trees", 0).value(), 50);
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  const auto parser = ParseArgs({"run", "--lr=0.05", "--name=model a"}).value();
+  EXPECT_DOUBLE_EQ(parser.GetDouble("lr", 0).value(), 0.05);
+  EXPECT_EQ(parser.GetString("name"), "model a");
+}
+
+TEST(FlagsTest, BooleanSwitch) {
+  const auto parser = ParseArgs({"run", "--verbose", "--flag", "false"}).value();
+  EXPECT_TRUE(parser.GetBool("verbose"));
+  EXPECT_FALSE(parser.GetBool("flag", true));
+  EXPECT_FALSE(parser.GetBool("absent", false));
+  EXPECT_TRUE(parser.GetBool("absent", true));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const auto parser = ParseArgs({"cmd"}).value();
+  EXPECT_EQ(parser.GetString("missing", "fallback"), "fallback");
+  EXPECT_EQ(parser.GetInt("missing", 7).value(), 7);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("missing", 1.5).value(), 1.5);
+  EXPECT_FALSE(parser.Has("missing"));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const auto parser = ParseArgs({"explain", "--top", "3", "a.csv", "b.csv"}).value();
+  EXPECT_EQ(parser.command(), "explain");
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"a.csv", "b.csv"}));
+}
+
+TEST(FlagsTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(ParseArgs({"cmd", "--a", "1", "--a", "2"}).ok());
+  EXPECT_FALSE(ParseArgs({"cmd", "--=x"}).ok());
+  const auto parser = ParseArgs({"cmd", "--n", "abc"}).value();
+  EXPECT_FALSE(parser.GetInt("n", 0).ok());
+  EXPECT_FALSE(parser.GetDouble("n", 0).ok());
+}
+
+TEST(FlagsTest, EmptyArgv) {
+  const auto parser = ParseArgs({}).value();
+  EXPECT_EQ(parser.command(), "");
+  EXPECT_TRUE(parser.positional().empty());
+}
+
+}  // namespace
+}  // namespace mysawh

@@ -1,0 +1,184 @@
+#include "gam/gam_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace mysawh::gam {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Purely additive target: y = sin(2 x0) + |x1| - 0.5 x2.
+Dataset MakeAdditiveData(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds = Dataset::Create({"x0", "x1", "x2"});
+  for (int64_t i = 0; i < n; ++i) {
+    const double x0 = rng.Uniform(-2, 2);
+    const double x1 = rng.Uniform(-1, 1);
+    const double x2 = rng.Uniform(-1, 1);
+    const double y =
+        std::sin(2 * x0) + std::abs(x1) - 0.5 * x2 + rng.Normal(0, 0.03);
+    EXPECT_TRUE(ds.AddRow({x0, x1, x2}, y).ok());
+  }
+  return ds;
+}
+
+double Rmse(const std::vector<double>& y, const std::vector<double>& p) {
+  double ss = 0;
+  for (size_t i = 0; i < y.size(); ++i) ss += (y[i] - p[i]) * (y[i] - p[i]);
+  return std::sqrt(ss / static_cast<double>(y.size()));
+}
+
+TEST(GamModelTest, FitsAdditiveFunction) {
+  const Dataset train = MakeAdditiveData(2000, 1);
+  const Dataset test = MakeAdditiveData(400, 2);
+  GamParams params;
+  params.num_cycles = 40;
+  const GamModel model = GamModel::Train(train, params).value();
+  EXPECT_LT(Rmse(test.labels(), model.Predict(test).value()), 0.12);
+}
+
+TEST(GamModelTest, ShapeFunctionRecoversMonotoneEffect) {
+  // y depends on x0 monotonically; shape function must increase overall.
+  Rng rng(3);
+  Dataset train = Dataset::Create({"x0", "noise"});
+  for (int i = 0; i < 1500; ++i) {
+    const double x0 = rng.Uniform(0, 1);
+    const double noise = rng.Uniform(0, 1);
+    ASSERT_TRUE(train.AddRow({x0, noise}, 3.0 * x0 + rng.Normal(0, 0.02)).ok());
+  }
+  GamParams params;
+  params.num_cycles = 30;
+  const GamModel model = GamModel::Train(train, params).value();
+  const auto shape =
+      model.ShapeFunction(0, {0.05, 0.25, 0.5, 0.75, 0.95}).value();
+  EXPECT_LT(shape.front(), shape.back());
+  EXPECT_GT(shape.back() - shape.front(), 1.5);
+  // The noise feature's shape function should be comparatively flat.
+  const auto flat = model.ShapeFunction(1, {0.05, 0.5, 0.95}).value();
+  double flat_span = *std::max_element(flat.begin(), flat.end()) -
+                     *std::min_element(flat.begin(), flat.end());
+  EXPECT_LT(flat_span, 0.3);
+}
+
+TEST(GamModelTest, ClassificationOnSeparableData) {
+  Rng rng(5);
+  Dataset train = Dataset::Create({"a", "b"});
+  for (int i = 0; i < 1500; ++i) {
+    const double a = rng.Uniform(-1, 1);
+    const double b = rng.Uniform(-1, 1);
+    ASSERT_TRUE(train.AddRow({a, b}, (a - b > 0.0) ? 1.0 : 0.0).ok());
+  }
+  GamParams params;
+  params.objective = gbt::ObjectiveType::kLogistic;
+  params.num_cycles = 30;
+  const GamModel model = GamModel::Train(train, params).value();
+  const auto preds = model.Predict(train).value();
+  int64_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    correct += (preds[i] >= 0.5) == (train.label(static_cast<int64_t>(i)) > 0.5);
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(preds.size()),
+            0.93);
+}
+
+TEST(GamModelTest, HandlesMissingValues) {
+  Rng rng(7);
+  Dataset train = Dataset::Create({"x"});
+  for (int i = 0; i < 800; ++i) {
+    if (rng.Bernoulli(0.25)) {
+      ASSERT_TRUE(train.AddRow({kNaN}, 4.0).ok());
+    } else {
+      const double x = rng.Uniform(0, 1);
+      ASSERT_TRUE(train.AddRow({x}, x).ok());
+    }
+  }
+  GamParams params;
+  params.num_cycles = 25;
+  const GamModel model = GamModel::Train(train, params).value();
+  const double missing_row[] = {kNaN};
+  EXPECT_NEAR(model.PredictRow(missing_row), 4.0, 0.3);
+  const double present_row[] = {0.4};
+  EXPECT_NEAR(model.PredictRow(present_row), 0.4, 0.3);
+}
+
+TEST(GamModelTest, ShapValuesSatisfyLocalAccuracy) {
+  const Dataset train = MakeAdditiveData(1000, 15);
+  GamParams params;
+  params.num_cycles = 20;
+  const GamModel model = GamModel::Train(train, params).value();
+  for (int64_t r = 0; r < 25; ++r) {
+    const auto phi = model.ShapValues(train.row(r)).value();
+    double total = model.expected_value();
+    for (double v : phi) total += v;
+    // For regression the transform is the identity, so the prediction is
+    // the raw score.
+    EXPECT_NEAR(total, model.PredictRow(train.row(r)), 1e-9);
+  }
+}
+
+TEST(GamModelTest, ExpectedValueMatchesTrainMean) {
+  const Dataset train = MakeAdditiveData(1000, 17);
+  GamParams params;
+  params.num_cycles = 20;
+  const GamModel model = GamModel::Train(train, params).value();
+  const auto preds = model.Predict(train).value();
+  double mean = 0;
+  for (double p : preds) mean += p;
+  mean /= static_cast<double>(preds.size());
+  EXPECT_NEAR(model.expected_value(), mean, 1e-9);
+}
+
+TEST(GamModelTest, ShapValuesTrackFeatureEffects) {
+  Rng rng(19);
+  Dataset train = Dataset::Create({"strong", "null"});
+  for (int i = 0; i < 1500; ++i) {
+    const double strong = rng.Uniform(-1, 1);
+    ASSERT_TRUE(train.AddRow({strong, rng.Uniform(-1, 1)}, 4.0 * strong).ok());
+  }
+  GamParams params;
+  params.num_cycles = 25;
+  const GamModel model = GamModel::Train(train, params).value();
+  const double row[] = {0.9, 0.0};
+  const auto phi = model.ShapValues(row).value();
+  EXPECT_GT(phi[0], 2.0);
+  EXPECT_LT(std::abs(phi[1]), 0.3);
+}
+
+TEST(GamModelTest, ValidatesInputs) {
+  Dataset empty = Dataset::Create({"x"});
+  GamParams params;
+  EXPECT_FALSE(GamModel::Train(empty, params).ok());
+  params.learning_rate = 0.0;
+  Dataset ok_data = MakeAdditiveData(50, 9);
+  EXPECT_FALSE(GamModel::Train(ok_data, params).ok());
+  params.learning_rate = 0.1;
+  params.num_cycles = 0;
+  EXPECT_FALSE(GamModel::Train(ok_data, params).ok());
+}
+
+TEST(GamModelTest, ShapeFunctionBounds) {
+  const Dataset train = MakeAdditiveData(100, 11);
+  GamParams params;
+  params.num_cycles = 2;
+  const GamModel model = GamModel::Train(train, params).value();
+  EXPECT_FALSE(model.ShapeFunction(-1, {0.0}).ok());
+  EXPECT_FALSE(model.ShapeFunction(3, {0.0}).ok());
+}
+
+TEST(GamModelTest, PredictChecksWidth) {
+  const Dataset train = MakeAdditiveData(100, 13);
+  GamParams params;
+  params.num_cycles = 2;
+  const GamModel model = GamModel::Train(train, params).value();
+  Dataset wrong = Dataset::Create({"only"});
+  ASSERT_TRUE(wrong.AddRow({0.0}, 0.0).ok());
+  EXPECT_FALSE(model.Predict(wrong).ok());
+}
+
+}  // namespace
+}  // namespace mysawh::gam

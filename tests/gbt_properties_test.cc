@@ -1,0 +1,142 @@
+/// Property-based tests of structural invariances the booster should obey.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gbt/gbt_model.h"
+#include "util/rng.h"
+
+namespace mysawh::gbt {
+namespace {
+
+Dataset MakeData(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds = Dataset::Create({"a", "b", "c"});
+  for (int64_t i = 0; i < n; ++i) {
+    const double a = rng.Uniform(-2, 2);
+    const double b = rng.Uniform(0, 1);
+    const double c = rng.Uniform(-1, 1);
+    const double y = std::sin(a) + 2.0 * b * b - c + rng.Normal(0, 0.05);
+    EXPECT_TRUE(ds.AddRow({a, b, c}, y).ok());
+  }
+  return ds;
+}
+
+GbtParams BaseParams(TreeMethod method) {
+  GbtParams params;
+  params.num_trees = 40;
+  params.max_depth = 4;
+  params.tree_method = method;
+  return params;
+}
+
+class GbtInvarianceTest : public ::testing::TestWithParam<TreeMethod> {};
+
+TEST_P(GbtInvarianceTest, FeatureOrderInvariance) {
+  // Permuting feature columns must not change predictions (deterministic
+  // tie-breaks could differ only on exact gain ties, which the continuous
+  // data avoids).
+  const Dataset original = MakeData(800, 1);
+  Dataset permuted = Dataset::Create({"c", "a", "b"});
+  for (int64_t r = 0; r < original.num_rows(); ++r) {
+    ASSERT_TRUE(permuted
+                    .AddRow({original.At(r, 2), original.At(r, 0),
+                             original.At(r, 1)},
+                            original.label(r))
+                    .ok());
+  }
+  const GbtParams params = BaseParams(GetParam());
+  const GbtModel model_a = GbtModel::Train(original, params).value();
+  const GbtModel model_b = GbtModel::Train(permuted, params).value();
+  for (int64_t r = 0; r < 50; ++r) {
+    const double row_a[] = {original.At(r, 0), original.At(r, 1),
+                            original.At(r, 2)};
+    const double row_b[] = {original.At(r, 2), original.At(r, 0),
+                            original.At(r, 1)};
+    EXPECT_NEAR(model_a.PredictRow(row_a), model_b.PredictRow(row_b), 1e-9);
+  }
+}
+
+TEST_P(GbtInvarianceTest, LabelShiftEquivariance) {
+  // Squared error: shifting every label by c shifts every prediction by c.
+  const Dataset original = MakeData(800, 2);
+  Dataset shifted = original;
+  const double c = 10.0;
+  for (int64_t r = 0; r < shifted.num_rows(); ++r) {
+    shifted.set_label(r, shifted.label(r) + c);
+  }
+  const GbtParams params = BaseParams(GetParam());
+  const GbtModel model_a = GbtModel::Train(original, params).value();
+  const GbtModel model_b = GbtModel::Train(shifted, params).value();
+  for (int64_t r = 0; r < 50; ++r) {
+    EXPECT_NEAR(model_a.PredictRow(original.row(r)) + c,
+                model_b.PredictRow(original.row(r)), 1e-6);
+  }
+}
+
+TEST_P(GbtInvarianceTest, MonotoneFeatureTransformInvariance) {
+  // Strictly increasing transforms of a feature leave split *membership*
+  // unchanged, so predictions on the (transformed) training rows match.
+  const Dataset original = MakeData(800, 3);
+  Dataset transformed = original;
+  for (int64_t r = 0; r < transformed.num_rows(); ++r) {
+    transformed.Set(r, 0, std::exp(original.At(r, 0)));
+  }
+  const GbtParams params = BaseParams(GetParam());
+  const GbtModel model_a = GbtModel::Train(original, params).value();
+  const GbtModel model_b = GbtModel::Train(transformed, params).value();
+  for (int64_t r = 0; r < 100; ++r) {
+    EXPECT_NEAR(model_a.PredictRow(original.row(r)),
+                model_b.PredictRow(transformed.row(r)), 1e-9);
+  }
+}
+
+TEST_P(GbtInvarianceTest, DuplicatedRowsScaleInvariance) {
+  // Training on the dataset duplicated once leaves the fit unchanged
+  // (every gradient statistic doubles, ratios are preserved; only
+  // regularization constants break exactness, hence the loose tolerance).
+  const Dataset original = MakeData(600, 4);
+  Dataset doubled = original;
+  ASSERT_TRUE(doubled.Append(original).ok());
+  GbtParams params = BaseParams(GetParam());
+  params.reg_lambda = 0.0;
+  params.min_samples_leaf = 1;
+  const GbtModel model_a = GbtModel::Train(original, params).value();
+  const GbtModel model_b = GbtModel::Train(doubled, params).value();
+  double max_diff = 0.0;
+  for (int64_t r = 0; r < 100; ++r) {
+    max_diff = std::max(max_diff,
+                        std::abs(model_a.PredictRow(original.row(r)) -
+                                 model_b.PredictRow(original.row(r))));
+  }
+  EXPECT_LT(max_diff, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, GbtInvarianceTest,
+                         ::testing::Values(TreeMethod::kHist,
+                                           TreeMethod::kExact));
+
+TEST(GbtPropertiesTest, PredictionsWithinLabelRange) {
+  // Tree ensembles cannot extrapolate beyond the label range by much
+  // (leaf values are shrunken averages); check a wide probe grid.
+  const Dataset train = MakeData(1000, 5);
+  double lo = 1e300, hi = -1e300;
+  for (double y : train.labels()) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  GbtParams params = BaseParams(TreeMethod::kHist);
+  const GbtModel model = GbtModel::Train(train, params).value();
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const double row[] = {rng.Uniform(-10, 10), rng.Uniform(-10, 10),
+                          rng.Uniform(-10, 10)};
+    const double pred = model.PredictRow(row);
+    EXPECT_GE(pred, lo - 0.5);
+    EXPECT_LE(pred, hi + 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace mysawh::gbt

@@ -1,0 +1,139 @@
+#include "core/ici.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace mysawh::core {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(IciScoringTest, BinaryAtLeast) {
+  IntrinsicCapacityIndex index({});
+  IciVariableSpec spec;
+  spec.kind = IciScoreKind::kBinaryAtLeast;
+  spec.cutoff = 3.0;
+  EXPECT_DOUBLE_EQ(index.ScoreVariable(spec, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(index.ScoreVariable(spec, 2.9), 0.0);
+}
+
+TEST(IciScoringTest, BinaryBelow) {
+  IntrinsicCapacityIndex index({});
+  IciVariableSpec spec;
+  spec.kind = IciScoreKind::kBinaryBelow;
+  spec.cutoff = 3.0;
+  // The paper's example: stress scored 1 if lower than 3.
+  EXPECT_DOUBLE_EQ(index.ScoreVariable(spec, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(index.ScoreVariable(spec, 3.0), 0.0);
+}
+
+TEST(IciScoringTest, GradedClamps) {
+  IntrinsicCapacityIndex index({});
+  IciVariableSpec spec;
+  spec.kind = IciScoreKind::kGraded;
+  spec.lo = 0.0;
+  spec.hi = 10000.0;
+  EXPECT_DOUBLE_EQ(index.ScoreVariable(spec, 5000.0), 0.5);
+  EXPECT_DOUBLE_EQ(index.ScoreVariable(spec, -100.0), 0.0);
+  EXPECT_DOUBLE_EQ(index.ScoreVariable(spec, 25000.0), 1.0);
+}
+
+TEST(IciScoringTest, DegenerateGradedRangeScoresZero) {
+  IntrinsicCapacityIndex index({});
+  IciVariableSpec spec;
+  spec.kind = IciScoreKind::kGraded;
+  spec.lo = 5.0;
+  spec.hi = 5.0;
+  EXPECT_DOUBLE_EQ(index.ScoreVariable(spec, 7.0), 0.0);
+}
+
+TEST(IciScoringTest, MissingYieldsNaN) {
+  IntrinsicCapacityIndex index({});
+  IciVariableSpec spec;
+  EXPECT_TRUE(std::isnan(index.ScoreVariable(spec, kNaN)));
+}
+
+IntrinsicCapacityIndex MakeTwoVariableIndex() {
+  IciVariableSpec a;
+  a.variable = "a";
+  a.kind = IciScoreKind::kBinaryAtLeast;
+  a.cutoff = 2.0;
+  IciVariableSpec b;
+  b.variable = "b";
+  b.kind = IciScoreKind::kGraded;
+  b.lo = 0.0;
+  b.hi = 10.0;
+  return IntrinsicCapacityIndex({a, b});
+}
+
+TEST(IciComputeTest, NormalizedSum) {
+  const auto index = MakeTwoVariableIndex();
+  // a: 1 (3 >= 2); b: 0.5 -> (1 + 0.5) / 2.
+  EXPECT_DOUBLE_EQ(index.Compute({3.0, 5.0}), 0.75);
+}
+
+TEST(IciComputeTest, MissingRenormalizes) {
+  const auto index = MakeTwoVariableIndex();
+  EXPECT_DOUBLE_EQ(index.Compute({kNaN, 5.0}), 0.5);
+  EXPECT_DOUBLE_EQ(index.Compute({3.0, kNaN}), 1.0);
+  EXPECT_TRUE(std::isnan(index.Compute({kNaN, kNaN})));
+}
+
+TEST(IciComputeTest, OutputAlwaysInUnitInterval) {
+  const auto index = MakeTwoVariableIndex();
+  for (double a : {0.0, 1.0, 2.0, 9.0}) {
+    for (double b : {-5.0, 0.0, 5.0, 15.0}) {
+      const double v = index.Compute({a, b});
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(StandardIciTest, CoversAllDomainsPlusSteps) {
+  const auto bank = cohort::ProQuestionBank::Standard();
+  const auto index = IntrinsicCapacityIndex::StandardMySawh(bank).value();
+  // 2 questions x 5 domains + graded steps.
+  EXPECT_EQ(index.variables().size(), 11u);
+  std::set<cohort::IcDomain> domains;
+  bool has_steps = false;
+  for (const auto& spec : index.variables()) {
+    domains.insert(spec.domain);
+    if (spec.variable == "act_steps") {
+      has_steps = true;
+      EXPECT_EQ(spec.kind, IciScoreKind::kGraded);
+    }
+  }
+  EXPECT_EQ(domains.size(), 5u);
+  EXPECT_TRUE(has_steps);
+}
+
+TEST(StandardIciTest, StressQuestionUsesPaperCutoff) {
+  const auto bank = cohort::ProQuestionBank::Standard();
+  const auto index = IntrinsicCapacityIndex::StandardMySawh(bank).value();
+  bool found = false;
+  for (const auto& spec : index.variables()) {
+    if (spec.variable == cohort::kStressQuestionName) {
+      found = true;
+      EXPECT_EQ(spec.kind, IciScoreKind::kBinaryBelow);
+      EXPECT_DOUBLE_EQ(spec.cutoff, 3.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(StandardIciTest, VariableNamesMatchSpecs) {
+  const auto bank = cohort::ProQuestionBank::Standard();
+  const auto index = IntrinsicCapacityIndex::StandardMySawh(bank).value();
+  const auto names = index.VariableNames();
+  ASSERT_EQ(names.size(), index.variables().size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], index.variables()[i].variable);
+  }
+}
+
+}  // namespace
+}  // namespace mysawh::core

@@ -1,0 +1,147 @@
+#include "linear/linear_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "linear/dense_solver.h"
+#include "util/rng.h"
+
+namespace mysawh::linear {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(DenseSolverTest, SolvesSpdSystem) {
+  // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11].
+  SquareMatrix a(2);
+  a.at(0, 0) = 4;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  const auto x = CholeskySolve(a, {1.0, 2.0}).value();
+  EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-12);
+}
+
+TEST(DenseSolverTest, RejectsIndefinite) {
+  SquareMatrix a(2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskySolve(a, {1.0, 1.0}).ok());
+}
+
+TEST(DenseSolverTest, RejectsSizeMismatch) {
+  SquareMatrix a(2);
+  a.at(0, 0) = a.at(1, 1) = 1;
+  EXPECT_FALSE(CholeskySolve(a, {1.0}).ok());
+}
+
+Dataset MakeLinearData(int64_t n, uint64_t seed, double noise = 0.0) {
+  Rng rng(seed);
+  Dataset ds = Dataset::Create({"x0", "x1"});
+  for (int64_t i = 0; i < n; ++i) {
+    const double x0 = rng.Uniform(-1, 1);
+    const double x1 = rng.Uniform(-1, 1);
+    const double y = 2.0 * x0 - 3.0 * x1 + 0.5 + rng.Normal(0, noise);
+    EXPECT_TRUE(ds.AddRow({x0, x1}, y).ok());
+  }
+  return ds;
+}
+
+TEST(LinearModelTest, RecoversCoefficientsWithoutNoise) {
+  const Dataset train = MakeLinearData(200, 1);
+  const LinearModel model = LinearModel::Train(train, /*lambda=*/0.0).value();
+  ASSERT_EQ(model.weights().size(), 2u);
+  EXPECT_NEAR(model.weights()[0], 2.0, 1e-8);
+  EXPECT_NEAR(model.weights()[1], -3.0, 1e-8);
+  EXPECT_NEAR(model.intercept(), 0.5, 1e-8);
+}
+
+TEST(LinearModelTest, RidgeShrinksWeights) {
+  const Dataset train = MakeLinearData(200, 2, 0.1);
+  const LinearModel loose = LinearModel::Train(train, 0.0).value();
+  const LinearModel tight = LinearModel::Train(train, 1000.0).value();
+  EXPECT_LT(std::abs(tight.weights()[0]), std::abs(loose.weights()[0]));
+  EXPECT_LT(std::abs(tight.weights()[1]), std::abs(loose.weights()[1]));
+}
+
+TEST(LinearModelTest, MeanImputesMissing) {
+  Rng rng(3);
+  Dataset train = Dataset::Create({"x"});
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.Uniform(0, 2);
+    ASSERT_TRUE(train.AddRow({x}, 5.0 * x).ok());
+  }
+  const LinearModel model = LinearModel::Train(train, 0.0).value();
+  const double missing_row[] = {kNaN};
+  // Imputed at the training mean (~1), so prediction ~5.
+  EXPECT_NEAR(model.PredictRow(missing_row), 5.0, 0.5);
+}
+
+TEST(LinearModelTest, RejectsBadInputs) {
+  Dataset empty = Dataset::Create({"x"});
+  EXPECT_FALSE(LinearModel::Train(empty).ok());
+  const Dataset train = MakeLinearData(10, 4);
+  EXPECT_FALSE(LinearModel::Train(train, -1.0).ok());
+  Dataset wrong = Dataset::Create({"a", "b", "c"});
+  ASSERT_TRUE(wrong.AddRow({0, 0, 0}, 0).ok());
+  const LinearModel model = LinearModel::Train(train).value();
+  EXPECT_FALSE(model.Predict(wrong).ok());
+}
+
+TEST(LogisticModelTest, SeparatesLinearlySeparableData) {
+  Rng rng(5);
+  Dataset train = Dataset::Create({"a", "b"});
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.Uniform(-1, 1);
+    const double b = rng.Uniform(-1, 1);
+    ASSERT_TRUE(train.AddRow({a, b}, (a + b > 0) ? 1.0 : 0.0).ok());
+  }
+  const LogisticModel model = LogisticModel::Train(train, 0.01).value();
+  const auto preds = model.Predict(train).value();
+  int64_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    EXPECT_GE(preds[i], 0.0);
+    EXPECT_LE(preds[i], 1.0);
+    correct += (preds[i] >= 0.5) == (train.label(static_cast<int64_t>(i)) > 0.5);
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(preds.size()),
+            0.97);
+}
+
+TEST(LogisticModelTest, RecoverCalibratedProbabilities) {
+  // Labels drawn from a known logistic model; fitted probabilities should
+  // track the generating ones.
+  Rng rng(7);
+  Dataset train = Dataset::Create({"x"});
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.Uniform(-2, 2);
+    const double p = 1.0 / (1.0 + std::exp(-(1.5 * x - 0.3)));
+    ASSERT_TRUE(train.AddRow({x}, rng.Bernoulli(p) ? 1.0 : 0.0).ok());
+  }
+  const LogisticModel model = LogisticModel::Train(train, 1e-6).value();
+  ASSERT_EQ(model.weights().size(), 1u);
+  EXPECT_NEAR(model.weights()[0], 1.5, 0.15);
+  EXPECT_NEAR(model.intercept(), -0.3, 0.15);
+}
+
+TEST(LogisticModelTest, RejectsNonBinaryLabels) {
+  Dataset train = Dataset::Create({"x"});
+  ASSERT_TRUE(train.AddRow({0.0}, 0.5).ok());
+  EXPECT_FALSE(LogisticModel::Train(train).ok());
+}
+
+TEST(LogisticModelTest, RejectsBadHyperparameters) {
+  Dataset train = Dataset::Create({"x"});
+  ASSERT_TRUE(train.AddRow({0.0}, 0.0).ok());
+  ASSERT_TRUE(train.AddRow({1.0}, 1.0).ok());
+  EXPECT_FALSE(LogisticModel::Train(train, -1.0).ok());
+  EXPECT_FALSE(LogisticModel::Train(train, 1.0, 0).ok());
+}
+
+}  // namespace
+}  // namespace mysawh::linear

@@ -1,0 +1,56 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace mysawh {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Logger::SetThreshold(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, ThresholdRoundTrips) {
+  Logger::SetThreshold(LogLevel::kError);
+  EXPECT_EQ(Logger::threshold(), LogLevel::kError);
+  Logger::SetThreshold(LogLevel::kDebug);
+  EXPECT_EQ(Logger::threshold(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotEmit) {
+  Logger::SetThreshold(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  MYSAWH_LOG(kInfo) << "should not appear";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(output.empty());
+}
+
+TEST_F(LoggingTest, EnabledMessagesCarryLevelAndLocation) {
+  Logger::SetThreshold(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  MYSAWH_LOG(kWarning) << "watch out " << 42;
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("WARN"), std::string::npos);
+  EXPECT_NE(output.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(output.find("watch out 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesSilently) {
+  ::testing::internal::CaptureStderr();
+  MYSAWH_CHECK(1 + 1 == 2) << "never shown";
+  MYSAWH_CHECK_EQ(3, 3);
+  MYSAWH_CHECK_LT(1, 2);
+  MYSAWH_CHECK_GE(2, 2);
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LoggingTest, FailedCheckAborts) {
+  EXPECT_DEATH({ MYSAWH_CHECK_EQ(1, 2) << "boom"; }, "Check failed");
+}
+
+TEST_F(LoggingTest, FatalLogAborts) {
+  EXPECT_DEATH({ MYSAWH_LOG(kFatal) << "fatal"; }, "fatal");
+}
+
+}  // namespace
+}  // namespace mysawh

@@ -1,0 +1,109 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mysawh::core {
+namespace {
+
+TEST(RegressionMetricsTest, HandComputed) {
+  const auto m =
+      ComputeRegressionMetrics({1.0, 2.0, 4.0}, {1.5, 1.5, 5.0}).value();
+  EXPECT_NEAR(m.mae, (0.5 + 0.5 + 1.0) / 3.0, 1e-12);
+  EXPECT_NEAR(m.rmse, std::sqrt((0.25 + 0.25 + 1.0) / 3.0), 1e-12);
+  EXPECT_NEAR(m.mape, (0.5 / 1.0 + 0.5 / 2.0 + 1.0 / 4.0) / 3.0, 1e-12);
+  EXPECT_NEAR(m.one_minus_mape, 1.0 - m.mape, 1e-12);
+  EXPECT_EQ(m.n, 3);
+  EXPECT_EQ(m.mape_skipped, 0);
+}
+
+TEST(RegressionMetricsTest, SkipsZeroLabelsInMape) {
+  const auto m = ComputeRegressionMetrics({0.0, 2.0}, {1.0, 3.0}).value();
+  EXPECT_EQ(m.mape_skipped, 1);
+  EXPECT_NEAR(m.mape, 0.5, 1e-12);  // only the y=2 sample
+  EXPECT_NEAR(m.mae, 1.0, 1e-12);   // MAE still uses all samples
+}
+
+TEST(RegressionMetricsTest, PerfectPrediction) {
+  const auto m = ComputeRegressionMetrics({1, 2, 3}, {1, 2, 3}).value();
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.one_minus_mape, 1.0);
+}
+
+TEST(RegressionMetricsTest, Validation) {
+  EXPECT_FALSE(ComputeRegressionMetrics({}, {}).ok());
+  EXPECT_FALSE(ComputeRegressionMetrics({1.0}, {1.0, 2.0}).ok());
+}
+
+TEST(ClassificationMetricsTest, HandComputedConfusion) {
+  // labels:      1  1  1  0  0  0  0  0
+  // predictions: 1  0  1  0  0  1  0  0   (threshold 0.5)
+  const std::vector<double> labels = {1, 1, 1, 0, 0, 0, 0, 0};
+  const std::vector<double> probs = {0.9, 0.2, 0.8, 0.1, 0.3, 0.7, 0.4, 0.0};
+  const auto m = ComputeClassificationMetrics(labels, probs).value();
+  EXPECT_EQ(m.tp, 2);
+  EXPECT_EQ(m.fn, 1);
+  EXPECT_EQ(m.fp, 1);
+  EXPECT_EQ(m.tn, 4);
+  EXPECT_NEAR(m.accuracy, 6.0 / 8.0, 1e-12);
+  EXPECT_NEAR(m.precision_true, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.recall_true, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.precision_false, 4.0 / 5.0, 1e-12);
+  EXPECT_NEAR(m.recall_false, 4.0 / 5.0, 1e-12);
+  EXPECT_NEAR(m.f1_true, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.f1_false, 4.0 / 5.0, 1e-12);
+}
+
+TEST(ClassificationMetricsTest, DegenerateAllNegativePredictions) {
+  // Never predicting True: recall_true = 0, precision_true reported as 0.
+  const auto m =
+      ComputeClassificationMetrics({1, 0, 0, 1}, {0.1, 0.1, 0.2, 0.3}).value();
+  EXPECT_EQ(m.tp, 0);
+  EXPECT_DOUBLE_EQ(m.recall_true, 0.0);
+  EXPECT_DOUBLE_EQ(m.precision_true, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1_true, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall_false, 1.0);
+}
+
+TEST(ClassificationMetricsTest, CustomThreshold) {
+  const auto strict =
+      ComputeClassificationMetrics({1, 0}, {0.6, 0.4}, 0.7).value();
+  EXPECT_EQ(strict.tp, 0);
+  const auto loose =
+      ComputeClassificationMetrics({1, 0}, {0.6, 0.4}, 0.5).value();
+  EXPECT_EQ(loose.tp, 1);
+}
+
+TEST(ClassificationMetricsTest, Validation) {
+  EXPECT_FALSE(ComputeClassificationMetrics({}, {}).ok());
+  EXPECT_FALSE(ComputeClassificationMetrics({0.5}, {0.5}).ok());
+  EXPECT_FALSE(ComputeClassificationMetrics({1.0}, {0.5, 0.5}).ok());
+}
+
+TEST(PerGroupMaeTest, GroupsAndAverages) {
+  const auto result =
+      PerGroupMae({1.0, 2.0, 3.0, 4.0}, {1.5, 2.5, 3.0, 2.0},
+                  {7, 7, 9, 9})
+          .value();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].first, 7);
+  EXPECT_NEAR(result[0].second, 0.5, 1e-12);
+  EXPECT_EQ(result[1].first, 9);
+  EXPECT_NEAR(result[1].second, 1.0, 1e-12);
+}
+
+TEST(PerGroupMaeTest, Validation) {
+  EXPECT_FALSE(PerGroupMae({1.0}, {1.0, 2.0}, {1}).ok());
+  EXPECT_FALSE(PerGroupMae({1.0}, {1.0}, {1, 2}).ok());
+}
+
+TEST(MetricsToStringTest, ContainsKeyNumbers) {
+  const auto reg = ComputeRegressionMetrics({1.0}, {0.9}).value();
+  EXPECT_NE(reg.ToString().find("1-MAPE"), std::string::npos);
+  const auto cls = ComputeClassificationMetrics({1, 0}, {1.0, 0.0}).value();
+  EXPECT_NE(cls.ToString().find("acc=100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mysawh::core

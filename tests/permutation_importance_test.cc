@@ -1,0 +1,89 @@
+#include "explain/permutation_importance.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mysawh::explain {
+namespace {
+
+using gbt::GbtModel;
+using gbt::GbtParams;
+
+Dataset MakeData(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds = Dataset::Create({"strong", "weak", "noise"});
+  for (int64_t i = 0; i < n; ++i) {
+    const double strong = rng.Uniform(-1, 1);
+    const double weak = rng.Uniform(-1, 1);
+    const double noise = rng.Uniform(-1, 1);
+    const double y = 3.0 * strong + 0.3 * weak + rng.Normal(0, 0.02);
+    EXPECT_TRUE(ds.AddRow({strong, weak, noise}, y).ok());
+  }
+  return ds;
+}
+
+TEST(PermutationImportanceTest, RanksFeaturesBySignal) {
+  const Dataset train = MakeData(1500, 1);
+  GbtParams params;
+  params.num_trees = 60;
+  const GbtModel model = GbtModel::Train(train, params).value();
+  const Dataset test = MakeData(400, 2);
+  const auto importance =
+      ComputePermutationImportance(model, test, 3, 7).value();
+  ASSERT_EQ(importance.features.size(), 3u);
+  EXPECT_EQ(importance.features[0], "strong");
+  EXPECT_EQ(importance.features[1], "weak");
+  EXPECT_EQ(importance.features[2], "noise");
+  // Shuffling the strong feature degrades the metric a lot; the noise
+  // feature essentially not at all.
+  EXPECT_GT(importance.importance[0], 10.0 * importance.importance[2] + 0.01);
+  EXPECT_LT(importance.importance[2], 0.05);
+  EXPECT_GT(importance.baseline_metric, 0.0);
+}
+
+TEST(PermutationImportanceTest, DeterministicGivenSeed) {
+  const Dataset train = MakeData(400, 3);
+  GbtParams params;
+  params.num_trees = 20;
+  const GbtModel model = GbtModel::Train(train, params).value();
+  const auto a = ComputePermutationImportance(model, train, 2, 99).value();
+  const auto b = ComputePermutationImportance(model, train, 2, 99).value();
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_EQ(a.importance, b.importance);
+}
+
+TEST(PermutationImportanceTest, ValidatesArguments) {
+  const Dataset train = MakeData(100, 4);
+  GbtParams params;
+  params.num_trees = 5;
+  const GbtModel model = GbtModel::Train(train, params).value();
+  EXPECT_FALSE(ComputePermutationImportance(model, train, 0).ok());
+  Dataset narrow = Dataset::Create({"x"});
+  ASSERT_TRUE(narrow.AddRow({0.0}, 0.0).ok());
+  ASSERT_TRUE(narrow.AddRow({1.0}, 1.0).ok());
+  EXPECT_FALSE(ComputePermutationImportance(model, narrow).ok());
+  Dataset tiny = train.Take({0}).value();
+  EXPECT_FALSE(ComputePermutationImportance(model, tiny).ok());
+}
+
+TEST(PermutationImportanceTest, WorksForClassification) {
+  Rng rng(5);
+  Dataset train = Dataset::Create({"signal", "noise"});
+  for (int i = 0; i < 1200; ++i) {
+    const double signal = rng.Uniform(-1, 1);
+    const double noise = rng.Uniform(-1, 1);
+    ASSERT_TRUE(train.AddRow({signal, noise}, signal > 0 ? 1.0 : 0.0).ok());
+  }
+  GbtParams params;
+  params.objective = gbt::ObjectiveType::kLogistic;
+  params.num_trees = 40;
+  const GbtModel model = GbtModel::Train(train, params).value();
+  const auto importance =
+      ComputePermutationImportance(model, train, 2, 11).value();
+  EXPECT_EQ(importance.features[0], "signal");
+  EXPECT_GT(importance.importance[0], importance.importance[1]);
+}
+
+}  // namespace
+}  // namespace mysawh::explain

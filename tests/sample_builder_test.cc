@@ -1,0 +1,241 @@
+#include "core/sample_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cohort/simulator.h"
+
+namespace mysawh::core {
+namespace {
+
+const cohort::Cohort& SmallCohort() {
+  static const cohort::Cohort* cohort = [] {
+    cohort::CohortConfig config;
+    config.seed = 17;
+    config.clinics = {{"A", 25, 0.0, 1.0}, {"B", 12, 0.0, 1.6}};
+    auto result = cohort::CohortSimulator(config).Generate();
+    return new cohort::Cohort(std::move(result).value());
+  }();
+  return *cohort;
+}
+
+TEST(SampleBuilderTest, AlignedSampleSets) {
+  const auto builder =
+      SampleSetBuilder::Create(&SmallCohort(), SampleBuildOptions{}).value();
+  const auto sets = builder.Build(Outcome::kQol).value();
+  // All four datasets share rows and labels.
+  EXPECT_EQ(sets.dd.num_rows(), sets.retained);
+  EXPECT_EQ(sets.dd_fi.num_rows(), sets.retained);
+  EXPECT_EQ(sets.kd.num_rows(), sets.retained);
+  EXPECT_EQ(sets.kd_fi.num_rows(), sets.retained);
+  for (int64_t r = 0; r < sets.retained; ++r) {
+    EXPECT_DOUBLE_EQ(sets.dd.label(r), sets.kd.label(r));
+    EXPECT_DOUBLE_EQ(sets.dd.label(r), sets.dd_fi.label(r));
+    EXPECT_DOUBLE_EQ(sets.dd.label(r), sets.kd_fi.label(r));
+  }
+  EXPECT_GT(sets.retained, 0);
+  EXPECT_LE(sets.retained, sets.total_candidates);
+  // 37 patients x 2 windows x 8 months.
+  EXPECT_EQ(sets.total_candidates, 37 * 16);
+}
+
+TEST(SampleBuilderTest, FeatureSchemas) {
+  const auto builder =
+      SampleSetBuilder::Create(&SmallCohort(), SampleBuildOptions{}).value();
+  const auto sets = builder.Build(Outcome::kQol).value();
+  EXPECT_EQ(sets.dd.num_features(), 59);  // 56 PRO + 3 activity
+  EXPECT_EQ(sets.dd_fi.num_features(), 60);
+  EXPECT_EQ(sets.kd.num_features(), 1);
+  EXPECT_EQ(sets.kd_fi.num_features(), 2);
+  EXPECT_EQ(sets.dd_fi.feature_names().back(), kFiFeature);
+  EXPECT_EQ(sets.kd.feature_names()[0], "ici");
+  // DD schema ends with the three activity features.
+  const auto& names = sets.dd.feature_names();
+  EXPECT_EQ(names[56], kStepsFeature);
+  EXPECT_EQ(names[57], kCaloriesFeature);
+  EXPECT_EQ(names[58], kSleepFeature);
+}
+
+TEST(SampleBuilderTest, AttributesAttached) {
+  const auto builder =
+      SampleSetBuilder::Create(&SmallCohort(), SampleBuildOptions{}).value();
+  const auto sets = builder.Build(Outcome::kSppb).value();
+  for (const Dataset* ds : {&sets.dd, &sets.dd_fi, &sets.kd, &sets.kd_fi}) {
+    for (const char* attr : {"patient", "clinic", "window", "month"}) {
+      EXPECT_TRUE(ds->HasAttribute(attr)) << attr;
+    }
+  }
+  const auto* months = sets.dd.Attribute("month").value();
+  for (int64_t m : *months) {
+    EXPECT_NE(m % 9, 0) << "visit months must not appear as samples";
+    EXPECT_GE(m, 1);
+    EXPECT_LT(m, 18);
+  }
+  const auto* windows = sets.dd.Attribute("window").value();
+  for (int64_t w : *windows) {
+    EXPECT_TRUE(w == 0 || w == 1);
+  }
+}
+
+TEST(SampleBuilderTest, KdFeaturesNeverMissing) {
+  const auto builder =
+      SampleSetBuilder::Create(&SmallCohort(), SampleBuildOptions{}).value();
+  const auto sets = builder.Build(Outcome::kQol).value();
+  for (int64_t r = 0; r < sets.kd.num_rows(); ++r) {
+    EXPECT_FALSE(std::isnan(sets.kd.At(r, 0)));
+    EXPECT_GE(sets.kd.At(r, 0), 0.0);
+    EXPECT_LE(sets.kd.At(r, 0), 1.0);
+    EXPECT_FALSE(std::isnan(sets.kd_fi.At(r, 1)));  // FI
+  }
+}
+
+TEST(SampleBuilderTest, LabelsMatchOutcomeKind) {
+  const auto builder =
+      SampleSetBuilder::Create(&SmallCohort(), SampleBuildOptions{}).value();
+  const auto qol = builder.Build(Outcome::kQol).value();
+  for (double y : qol.dd.labels()) {
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 1.0);
+  }
+  const auto sppb = builder.Build(Outcome::kSppb).value();
+  for (double y : sppb.dd.labels()) {
+    EXPECT_EQ(y, std::floor(y));
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 12.0);
+  }
+  const auto falls = builder.Build(Outcome::kFalls).value();
+  for (double y : falls.dd.labels()) {
+    EXPECT_TRUE(y == 0.0 || y == 1.0);
+  }
+}
+
+TEST(SampleBuilderTest, GapStatsTrackInterpolation) {
+  const auto builder =
+      SampleSetBuilder::Create(&SmallCohort(), SampleBuildOptions{}).value();
+  const auto sets = builder.Build(Outcome::kQol).value();
+  EXPECT_GT(sets.gap_stats_raw.num_gaps, 0);
+  // Bounded interpolation can only remove gaps.
+  EXPECT_LE(sets.gap_stats_after.total_missing,
+            sets.gap_stats_raw.total_missing);
+  // Every remaining gap is longer than the interpolation bound.
+  if (sets.gap_stats_after.num_gaps > 0) {
+    EXPECT_GT(sets.gap_stats_after.mean_length, 5.0);
+  }
+}
+
+/// QA-threshold sweep: retention is monotone in the threshold, and a
+/// threshold of 1.0 keeps every candidate.
+class QaThresholdTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QaThresholdTest, RetentionMonotone) {
+  SampleBuildOptions loose;
+  loose.max_missing_fraction = 1.0;
+  SampleBuildOptions tight;
+  tight.max_missing_fraction = GetParam();
+  const auto loose_sets = SampleSetBuilder::Create(&SmallCohort(), loose)
+                              .value()
+                              .Build(Outcome::kQol)
+                              .value();
+  const auto tight_sets = SampleSetBuilder::Create(&SmallCohort(), tight)
+                              .value()
+                              .Build(Outcome::kQol)
+                              .value();
+  EXPECT_LE(tight_sets.retained, loose_sets.retained);
+  EXPECT_EQ(loose_sets.retained, loose_sets.total_candidates);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, QaThresholdTest,
+                         ::testing::Values(0.0, 0.02, 0.05, 0.2, 0.5));
+
+TEST(SampleBuilderTest, InterpolationGapAffectsRetention) {
+  SampleBuildOptions none;
+  none.max_interpolation_gap = 0;
+  SampleBuildOptions generous;
+  generous.max_interpolation_gap = 17;
+  const auto sets_none = SampleSetBuilder::Create(&SmallCohort(), none)
+                             .value()
+                             .Build(Outcome::kQol)
+                             .value();
+  const auto sets_generous =
+      SampleSetBuilder::Create(&SmallCohort(), generous)
+          .value()
+          .Build(Outcome::kQol)
+          .value();
+  EXPECT_GE(sets_generous.retained, sets_none.retained);
+  EXPECT_EQ(sets_generous.gap_stats_after.num_gaps, 0);
+}
+
+TEST(SampleBuilderTest, ImputationMethodsProduceAlignedSets) {
+  for (auto method : {ImputationMethod::kLinear, ImputationMethod::kLocf,
+                      ImputationMethod::kNearest}) {
+    SampleBuildOptions options;
+    options.imputation = method;
+    const auto sets = SampleSetBuilder::Create(&SmallCohort(), options)
+                          .value()
+                          .Build(Outcome::kQol)
+                          .value();
+    // Identical retention regardless of fill method (the same cells are
+    // filled, only with different values).
+    EXPECT_GT(sets.retained, 0);
+    EXPECT_EQ(sets.dd.num_rows(), sets.kd.num_rows());
+  }
+  // Fill values differ between methods on at least some cells.
+  SampleBuildOptions linear_options;
+  SampleBuildOptions locf_options;
+  locf_options.imputation = ImputationMethod::kLocf;
+  const auto linear_sets = SampleSetBuilder::Create(&SmallCohort(), linear_options)
+                               .value()
+                               .Build(Outcome::kQol)
+                               .value();
+  const auto locf_sets = SampleSetBuilder::Create(&SmallCohort(), locf_options)
+                             .value()
+                             .Build(Outcome::kQol)
+                             .value();
+  ASSERT_EQ(linear_sets.dd.num_rows(), locf_sets.dd.num_rows());
+  bool any_difference = false;
+  for (int64_t r = 0; r < linear_sets.dd.num_rows() && !any_difference; ++r) {
+    for (int64_t f = 0; f < linear_sets.dd.num_features(); ++f) {
+      const double a = linear_sets.dd.At(r, f);
+      const double b = locf_sets.dd.At(r, f);
+      if (!std::isnan(a) && !std::isnan(b) && a != b) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SampleBuilderTest, ValidatesOptions) {
+  SampleBuildOptions bad;
+  bad.max_interpolation_gap = -1;
+  EXPECT_FALSE(SampleSetBuilder::Create(&SmallCohort(), bad).ok());
+  bad = SampleBuildOptions{};
+  bad.max_missing_fraction = 1.5;
+  EXPECT_FALSE(SampleSetBuilder::Create(&SmallCohort(), bad).ok());
+  EXPECT_FALSE(
+      SampleSetBuilder::Create(nullptr, SampleBuildOptions{}).ok());
+}
+
+TEST(OutcomesTest, NamesRoundTrip) {
+  EXPECT_STREQ(OutcomeName(Outcome::kQol), "QoL");
+  EXPECT_EQ(ParseOutcome("SPPB").value(), Outcome::kSppb);
+  EXPECT_EQ(ParseOutcome("Falls").value(), Outcome::kFalls);
+  EXPECT_FALSE(ParseOutcome("qol").ok());
+  EXPECT_TRUE(IsClassification(Outcome::kFalls));
+  EXPECT_FALSE(IsClassification(Outcome::kQol));
+}
+
+TEST(OutcomesTest, LabelExtraction) {
+  cohort::VisitOutcomes visit;
+  visit.qol = 0.73;
+  visit.sppb = 11;
+  visit.falls = true;
+  EXPECT_DOUBLE_EQ(OutcomeLabel(visit, Outcome::kQol), 0.73);
+  EXPECT_DOUBLE_EQ(OutcomeLabel(visit, Outcome::kSppb), 11.0);
+  EXPECT_DOUBLE_EQ(OutcomeLabel(visit, Outcome::kFalls), 1.0);
+}
+
+}  // namespace
+}  // namespace mysawh::core

@@ -1,0 +1,96 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace mysawh {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::OutOfRange("c"), StatusCode::kOutOfRange},
+      {Status::FailedPrecondition("d"), StatusCode::kFailedPrecondition},
+      {Status::AlreadyExists("e"), StatusCode::kAlreadyExists},
+      {Status::IoError("f"), StatusCode::kIoError},
+      {Status::Unimplemented("g"), StatusCode::kUnimplemented},
+      {Status::Internal("h"), StatusCode::kInternal},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+    EXPECT_NE(c.status.ToString().find(c.status.message()), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringContainsCodeName) {
+  EXPECT_EQ(Status::NotFound("xyz").ToString(), "Not found: xyz");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::Ok();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  MYSAWH_RETURN_NOT_OK(FailIfNegative(x));
+  return 2 * x;
+}
+
+Result<int> ChainedViaMacro(int x) {
+  MYSAWH_ASSIGN_OR_RETURN(int doubled, DoubleIfPositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(DoubleIfPositive(3).ok());
+  EXPECT_EQ(DoubleIfPositive(3).value(), 6);
+  EXPECT_FALSE(DoubleIfPositive(-1).ok());
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  ASSERT_TRUE(ChainedViaMacro(5).ok());
+  EXPECT_EQ(ChainedViaMacro(5).value(), 11);
+  EXPECT_EQ(ChainedViaMacro(-2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mysawh

@@ -1,0 +1,78 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mysawh {
+namespace {
+
+TEST(StringUtilTest, SplitPreservesEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("one", ','), (std::vector<std::string>{"one"}));
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts = {"x", "", "z z", "42"};
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  abc \t\n"), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" a b "), "a b");
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble(" -1e3 ").value(), -1000.0);
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+}
+
+TEST(StringUtilTest, ParseDoubleAllowMissing) {
+  EXPECT_TRUE(std::isnan(ParseDoubleAllowMissing("").value()));
+  EXPECT_TRUE(std::isnan(ParseDoubleAllowMissing("nan").value()));
+  EXPECT_TRUE(std::isnan(ParseDoubleAllowMissing("NaN").value()));
+  EXPECT_TRUE(std::isnan(ParseDoubleAllowMissing("NA").value()));
+  EXPECT_DOUBLE_EQ(ParseDoubleAllowMissing("2.5").value(), 2.5);
+  EXPECT_FALSE(ParseDoubleAllowMissing("junk").ok());
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64(" -7 ").value(), -7);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(StringUtilTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(1.25, 6), "1.25");
+  EXPECT_EQ(FormatDouble(3.0, 6), "3");
+  EXPECT_EQ(FormatDouble(0.001, 6), "0.001");
+  EXPECT_EQ(FormatDouble(-0.0, 3), "0");
+  EXPECT_EQ(FormatDouble(std::nan(""), 3), "nan");
+}
+
+TEST(StringUtilTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.943, 1), "94.3%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(FormatPercent(0.0235, 2), "2.35%");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("feature x", "feature "));
+  EXPECT_FALSE(StartsWith("feat", "feature"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+}  // namespace
+}  // namespace mysawh

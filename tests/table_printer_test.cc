@@ -1,0 +1,65 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace mysawh {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "v"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "23"});
+  const std::string out = table.ToString();
+  // Every rendered line has equal width.
+  size_t width = 0;
+  size_t start = 0;
+  while (start < out.size()) {
+    const size_t end = out.find('\n', start);
+    const size_t len = end - start;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    start = end + 1;
+  }
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorRendersRule) {
+  TablePrinter table({"a"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  const std::string out = table.ToString();
+  // Header rule + separator + bottom rule -> at least 4 '+--' lines.
+  int rules = 0;
+  size_t pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_GE(rules, 4);
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter table({"only"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(BarChartTest, ScalesToMaxWidth) {
+  const std::string out =
+      RenderBarChart({"a", "bb"}, {10.0, 5.0}, /*max_width=*/10);
+  // The larger value gets the full width; the smaller one half.
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("#####"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+}
+
+TEST(BarChartTest, AllZeroValues) {
+  const std::string out = RenderBarChart({"x"}, {0.0});
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mysawh

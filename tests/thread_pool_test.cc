@@ -1,0 +1,72 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mysawh {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeRunsOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 0);
+  int value = 0;
+  pool.Submit([&] { value = 7; });
+  EXPECT_EQ(value, 7);  // ran synchronously
+}
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    std::vector<int> touched(1000, 0);
+    pool.ParallelFor(1000, [&](int64_t i) {
+      touched[static_cast<size_t>(i)] += 1;
+    });
+    EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), 1000)
+        << "threads=" << threads;
+    for (int t : touched) EXPECT_EQ(t, 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndNegative) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int64_t) { ++calls; });
+  pool.ParallelFor(-5, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.ParallelFor(50, [&](int64_t i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 5 * (49 * 50 / 2));
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) pool.Submit([&] { counter.fetch_add(1); });
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+}  // namespace
+}  // namespace mysawh

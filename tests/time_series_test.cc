@@ -1,0 +1,85 @@
+#include "series/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace mysawh {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(TimeSeriesTest, BasicAccess) {
+  TimeSeries s({1.0, kNaN, 3.0});
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_FALSE(s.IsMissing(0));
+  EXPECT_TRUE(s.IsMissing(1));
+  EXPECT_EQ(s.NumMissing(), 1);
+  s.set(1, 2.0);
+  EXPECT_EQ(s.NumMissing(), 0);
+}
+
+TEST(TimeSeriesTest, FindGapsIdentifiesRuns) {
+  TimeSeries s({kNaN, 1.0, kNaN, kNaN, 2.0, kNaN});
+  const auto gaps = FindGaps(s);
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0].start, 0);
+  EXPECT_EQ(gaps[0].length, 1);
+  EXPECT_EQ(gaps[1].start, 2);
+  EXPECT_EQ(gaps[1].length, 2);
+  EXPECT_EQ(gaps[2].start, 5);
+  EXPECT_EQ(gaps[2].length, 1);
+}
+
+TEST(TimeSeriesTest, FindGapsNoMissing) {
+  EXPECT_TRUE(FindGaps(TimeSeries({1, 2, 3})).empty());
+  EXPECT_TRUE(FindGaps(TimeSeries(std::vector<double>{})).empty());
+}
+
+TEST(TimeSeriesTest, FindGapsAllMissing) {
+  const auto gaps = FindGaps(TimeSeries({kNaN, kNaN}));
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].length, 2);
+}
+
+TEST(TimeSeriesTest, GapStats) {
+  const auto stats =
+      ComputeGapStats(TimeSeries({kNaN, 1.0, kNaN, kNaN, kNaN, 2.0}));
+  EXPECT_EQ(stats.num_gaps, 2);
+  EXPECT_EQ(stats.total_missing, 4);
+  EXPECT_EQ(stats.max_length, 3);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 2.0);
+}
+
+TEST(TimeSeriesTest, GapStatsMergeWeightsMeans) {
+  GapStats a;
+  a.num_gaps = 2;
+  a.total_missing = 4;
+  a.max_length = 3;
+  a.mean_length = 2.0;
+  GapStats b;
+  b.num_gaps = 6;
+  b.total_missing = 30;
+  b.max_length = 10;
+  b.mean_length = 5.0;
+  a.Merge(b);
+  EXPECT_EQ(a.num_gaps, 8);
+  EXPECT_EQ(a.total_missing, 34);
+  EXPECT_EQ(a.max_length, 10);
+  EXPECT_NEAR(a.mean_length, (2.0 * 2 + 5.0 * 6) / 8.0, 1e-12);
+}
+
+TEST(TimeSeriesTest, GapStatsMergeWithEmpty) {
+  GapStats a;
+  GapStats b;
+  b.num_gaps = 1;
+  b.total_missing = 5;
+  b.max_length = 5;
+  b.mean_length = 5.0;
+  a.Merge(b);
+  EXPECT_EQ(a.num_gaps, 1);
+  EXPECT_DOUBLE_EQ(a.mean_length, 5.0);
+}
+
+}  // namespace
+}  // namespace mysawh

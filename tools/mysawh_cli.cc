@@ -1,0 +1,270 @@
+/// mysawh_cli — command-line front end of the library.
+///
+/// Subcommands:
+///   generate   Generate a synthetic cohort and export sample sets as CSV.
+///   train      Train a GBT model from a CSV file.
+///   predict    Batch prediction from a saved model.
+///   evaluate   Regression or classification metrics on a labelled CSV.
+///   explain    TreeSHAP explanation of one row.
+///   importance Gain / cover / split-count feature importance of a model.
+///
+/// Run `mysawh_cli help` for flag documentation.
+
+#include <algorithm>
+#include <iostream>
+
+#include "cohort/simulator.h"
+#include "core/evaluation.h"
+#include "core/metrics.h"
+#include "core/sample_builder.h"
+#include "explain/explanation.h"
+#include "explain/tree_shap.h"
+#include "gbt/gbt_model.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace mysawh {
+namespace {
+
+constexpr const char kUsage[] = R"(mysawh_cli <command> [flags]
+
+commands:
+  generate   --outcome QoL|SPPB|Falls [--seed N] [--out-prefix P]
+             [--max-gap 5] [--max-missing 0.04]
+             Generates the synthetic MySAwH cohort, builds the paper's
+             aligned sample sets and writes <P><set>.csv for set in
+             dd, dd_fi, kd, kd_fi.
+
+  train      --data FILE [--label label] [--exclude a,b,c]
+             [--objective reg:squarederror|binary:logistic|reg:pseudohuber]
+             [--num-trees 300] [--max-depth 4] [--learning-rate 0.07]
+             [--subsample 1.0] [--colsample 1.0] [--seed 7]
+             [--out model.txt]
+             Trains a gradient-boosted model on the CSV (all numeric
+             columns except the label and excluded ones are features).
+
+  predict    --model FILE --data FILE [--out preds.csv]
+  evaluate   --model FILE --data FILE [--label label] [--threshold 0.5]
+  explain    --model FILE --data FILE [--row 0] [--top 5]
+  importance --model FILE [--type gain|cover|split]
+)";
+
+/// Loads a CSV into a Dataset using the label/exclude conventions.
+Result<Dataset> LoadDataset(const FlagParser& flags,
+                            const gbt::GbtModel* model_for_schema) {
+  const std::string path = flags.GetString("data");
+  if (path.empty()) return Status::InvalidArgument("--data is required");
+  MYSAWH_ASSIGN_OR_RETURN(Table table, Table::FromCsvFile(path));
+  const std::string label = flags.GetString("label", "label");
+  std::vector<std::string> exclude =
+      Split(flags.GetString("exclude", "patient,clinic,window,month"), ',');
+  exclude.push_back(label);
+  std::vector<std::string> features;
+  if (model_for_schema != nullptr) {
+    // Align the columns with the model's training schema.
+    features = model_for_schema->feature_names();
+  } else {
+    for (const auto& name : table.ColumnNames()) {
+      if (std::find(exclude.begin(), exclude.end(), name) != exclude.end()) {
+        continue;
+      }
+      MYSAWH_ASSIGN_OR_RETURN(const Column* column, table.GetColumn(name));
+      if (column->is_numeric()) features.push_back(name);
+    }
+  }
+  if (!table.HasColumn(label)) {
+    // Prediction-only input: synthesize a zero label column.
+    MYSAWH_RETURN_NOT_OK(table.AddNumericColumn(
+        label, std::vector<double>(static_cast<size_t>(table.num_rows()),
+                                   0.0)));
+  }
+  return Dataset::FromTable(table, features, label);
+}
+
+Result<gbt::GbtModel> LoadModel(const FlagParser& flags) {
+  const std::string path = flags.GetString("model");
+  if (path.empty()) return Status::InvalidArgument("--model is required");
+  return gbt::GbtModel::LoadFromFile(path);
+}
+
+Status RunGenerate(const FlagParser& flags) {
+  MYSAWH_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
+  MYSAWH_ASSIGN_OR_RETURN(core::Outcome outcome,
+                          core::ParseOutcome(flags.GetString("outcome", "QoL")));
+  cohort::CohortConfig config;
+  config.seed = static_cast<uint64_t>(seed);
+  MYSAWH_ASSIGN_OR_RETURN(auto cohort,
+                          cohort::CohortSimulator(config).Generate());
+  core::SampleBuildOptions options;
+  MYSAWH_ASSIGN_OR_RETURN(int64_t max_gap, flags.GetInt("max-gap", 5));
+  options.max_interpolation_gap = static_cast<int>(max_gap);
+  MYSAWH_ASSIGN_OR_RETURN(options.max_missing_fraction,
+                          flags.GetDouble("max-missing", 0.04));
+  MYSAWH_ASSIGN_OR_RETURN(auto builder,
+                          core::SampleSetBuilder::Create(&cohort, options));
+  MYSAWH_ASSIGN_OR_RETURN(auto sets, builder.Build(outcome));
+  const std::string prefix = flags.GetString("out-prefix", "mysawh_");
+  const struct {
+    const char* name;
+    const Dataset* data;
+  } exports[] = {{"dd", &sets.dd},
+                 {"dd_fi", &sets.dd_fi},
+                 {"kd", &sets.kd},
+                 {"kd_fi", &sets.kd_fi}};
+  for (const auto& e : exports) {
+    MYSAWH_ASSIGN_OR_RETURN(Table table, e.data->ToTable());
+    const std::string path = prefix + e.name + ".csv";
+    MYSAWH_RETURN_NOT_OK(table.ToCsvFile(path));
+    std::cout << "wrote " << path << " (" << table.num_rows() << " rows, "
+              << table.num_columns() << " columns)\n";
+  }
+  std::cout << "retained " << sets.retained << " of " << sets.total_candidates
+            << " candidate patient-months for outcome "
+            << core::OutcomeName(outcome) << "\n";
+  return Status::Ok();
+}
+
+Status RunTrain(const FlagParser& flags) {
+  MYSAWH_ASSIGN_OR_RETURN(Dataset data, LoadDataset(flags, nullptr));
+  gbt::GbtParams params;
+  MYSAWH_ASSIGN_OR_RETURN(
+      params.objective,
+      gbt::ParseObjectiveType(
+          flags.GetString("objective", "reg:squarederror")));
+  MYSAWH_ASSIGN_OR_RETURN(int64_t trees, flags.GetInt("num-trees", 300));
+  params.num_trees = static_cast<int>(trees);
+  MYSAWH_ASSIGN_OR_RETURN(int64_t depth, flags.GetInt("max-depth", 4));
+  params.max_depth = static_cast<int>(depth);
+  MYSAWH_ASSIGN_OR_RETURN(params.learning_rate,
+                          flags.GetDouble("learning-rate", 0.07));
+  MYSAWH_ASSIGN_OR_RETURN(params.subsample, flags.GetDouble("subsample", 1.0));
+  MYSAWH_ASSIGN_OR_RETURN(params.colsample_bytree,
+                          flags.GetDouble("colsample", 1.0));
+  MYSAWH_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 7));
+  params.seed = static_cast<uint64_t>(seed);
+  MYSAWH_ASSIGN_OR_RETURN(gbt::GbtModel model,
+                          gbt::GbtModel::Train(data, params));
+  const std::string out = flags.GetString("out", "model.txt");
+  MYSAWH_RETURN_NOT_OK(model.SaveToFile(out));
+  std::cout << "trained " << model.trees().size() << " trees on "
+            << data.num_rows() << " rows x " << data.num_features()
+            << " features; model written to " << out << "\n";
+  return Status::Ok();
+}
+
+Status RunPredict(const FlagParser& flags) {
+  MYSAWH_ASSIGN_OR_RETURN(gbt::GbtModel model, LoadModel(flags));
+  MYSAWH_ASSIGN_OR_RETURN(Dataset data, LoadDataset(flags, &model));
+  MYSAWH_ASSIGN_OR_RETURN(std::vector<double> preds, model.Predict(data));
+  const std::string out = flags.GetString("out", "predictions.csv");
+  CsvDocument csv;
+  csv.header = {"row", "prediction"};
+  for (size_t i = 0; i < preds.size(); ++i) {
+    csv.rows.push_back({std::to_string(i), FormatDouble(preds[i], 6)});
+  }
+  MYSAWH_RETURN_NOT_OK(WriteCsv(out, csv));
+  std::cout << "wrote " << preds.size() << " predictions to " << out << "\n";
+  return Status::Ok();
+}
+
+Status RunEvaluate(const FlagParser& flags) {
+  MYSAWH_ASSIGN_OR_RETURN(gbt::GbtModel model, LoadModel(flags));
+  MYSAWH_ASSIGN_OR_RETURN(Dataset data, LoadDataset(flags, &model));
+  MYSAWH_ASSIGN_OR_RETURN(std::vector<double> preds, model.Predict(data));
+  if (model.objective_type() == gbt::ObjectiveType::kLogistic) {
+    MYSAWH_ASSIGN_OR_RETURN(double threshold,
+                            flags.GetDouble("threshold", 0.5));
+    MYSAWH_ASSIGN_OR_RETURN(
+        auto metrics,
+        core::ComputeClassificationMetrics(data.labels(), preds, threshold));
+    std::cout << metrics.ToString() << "\n";
+    auto auc = core::RocAuc(data.labels(), preds);
+    if (auc.ok()) std::cout << "auc=" << FormatDouble(*auc, 4) << "\n";
+  } else {
+    MYSAWH_ASSIGN_OR_RETURN(auto metrics, core::ComputeRegressionMetrics(
+                                              data.labels(), preds));
+    std::cout << metrics.ToString() << "\n";
+  }
+  return Status::Ok();
+}
+
+Status RunExplain(const FlagParser& flags) {
+  MYSAWH_ASSIGN_OR_RETURN(gbt::GbtModel model, LoadModel(flags));
+  MYSAWH_ASSIGN_OR_RETURN(Dataset data, LoadDataset(flags, &model));
+  MYSAWH_ASSIGN_OR_RETURN(int64_t row, flags.GetInt("row", 0));
+  MYSAWH_ASSIGN_OR_RETURN(int64_t top, flags.GetInt("top", 5));
+  const explain::TreeShap shap(&model);
+  MYSAWH_ASSIGN_OR_RETURN(auto explanation,
+                          explain::ExplainRow(shap, data, row));
+  std::cout << explanation.ToString(static_cast<int>(top));
+  return Status::Ok();
+}
+
+Status RunImportance(const FlagParser& flags) {
+  MYSAWH_ASSIGN_OR_RETURN(gbt::GbtModel model, LoadModel(flags));
+  const std::string type = flags.GetString("type", "gain");
+  std::map<std::string, double> scores;
+  if (type == "gain") {
+    scores = model.GainImportance();
+  } else if (type == "cover") {
+    scores = model.CoverImportance();
+  } else if (type == "split") {
+    for (const auto& [name, count] : model.SplitCountImportance()) {
+      scores[name] = static_cast<double>(count);
+    }
+  } else {
+    return Status::InvalidArgument("unknown importance type: " + type);
+  }
+  std::vector<std::pair<std::string, double>> sorted(scores.begin(),
+                                                     scores.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  TablePrinter table({"feature", type});
+  for (const auto& [name, score] : sorted) {
+    table.AddRow({name, FormatDouble(score, 4)});
+  }
+  std::cout << table.ToString();
+  return Status::Ok();
+}
+
+int Main(int argc, const char* const* argv) {
+  auto flags_or = FlagParser::Parse(argc - 1, argv + 1);
+  if (!flags_or.ok()) {
+    std::cerr << flags_or.status().ToString() << "\n" << kUsage;
+    return 2;
+  }
+  const FlagParser& flags = *flags_or;
+  Status status;
+  if (flags.command() == "generate") {
+    status = RunGenerate(flags);
+  } else if (flags.command() == "train") {
+    status = RunTrain(flags);
+  } else if (flags.command() == "predict") {
+    status = RunPredict(flags);
+  } else if (flags.command() == "evaluate") {
+    status = RunEvaluate(flags);
+  } else if (flags.command() == "explain") {
+    status = RunExplain(flags);
+  } else if (flags.command() == "importance") {
+    status = RunImportance(flags);
+  } else if (flags.command() == "help" || flags.command().empty()) {
+    std::cout << kUsage;
+    return flags.command().empty() ? 2 : 0;
+  } else {
+    std::cerr << "unknown command: " << flags.command() << "\n" << kUsage;
+    return 2;
+  }
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mysawh
+
+int main(int argc, char** argv) { return mysawh::Main(argc, argv); }
