@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gap_sweep.dir/ablation_gap_sweep.cpp.o"
+  "CMakeFiles/ablation_gap_sweep.dir/ablation_gap_sweep.cpp.o.d"
+  "ablation_gap_sweep"
+  "ablation_gap_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gap_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_imputation_methods.dir/ablation_imputation_methods.cpp.o"
+  "CMakeFiles/ablation_imputation_methods.dir/ablation_imputation_methods.cpp.o.d"
+  "ablation_imputation_methods"
+  "ablation_imputation_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_imputation_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_num_trees.dir/ablation_num_trees.cpp.o"
+  "CMakeFiles/ablation_num_trees.dir/ablation_num_trees.cpp.o.d"
+  "ablation_num_trees"
+  "ablation_num_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_num_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

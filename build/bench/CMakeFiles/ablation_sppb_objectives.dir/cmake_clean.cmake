@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sppb_objectives.dir/ablation_sppb_objectives.cpp.o"
+  "CMakeFiles/ablation_sppb_objectives.dir/ablation_sppb_objectives.cpp.o.d"
+  "ablation_sppb_objectives"
+  "ablation_sppb_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sppb_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

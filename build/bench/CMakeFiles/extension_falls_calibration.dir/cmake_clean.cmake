@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_falls_calibration.dir/extension_falls_calibration.cpp.o"
+  "CMakeFiles/extension_falls_calibration.dir/extension_falls_calibration.cpp.o.d"
+  "extension_falls_calibration"
+  "extension_falls_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_falls_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_shap_interactions.dir/extension_shap_interactions.cpp.o"
+  "CMakeFiles/extension_shap_interactions.dir/extension_shap_interactions.cpp.o.d"
+  "extension_shap_interactions"
+  "extension_shap_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_shap_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_outcome_distributions.dir/fig1_outcome_distributions.cpp.o"
+  "CMakeFiles/fig1_outcome_distributions.dir/fig1_outcome_distributions.cpp.o.d"
+  "fig1_outcome_distributions"
+  "fig1_outcome_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_outcome_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

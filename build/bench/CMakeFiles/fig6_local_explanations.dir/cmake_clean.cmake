@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_local_explanations.dir/fig6_local_explanations.cpp.o"
+  "CMakeFiles/fig6_local_explanations.dir/fig6_local_explanations.cpp.o.d"
+  "fig6_local_explanations"
+  "fig6_local_explanations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_local_explanations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

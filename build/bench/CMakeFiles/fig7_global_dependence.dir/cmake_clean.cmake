@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_global_dependence.dir/fig7_global_dependence.cpp.o"
+  "CMakeFiles/fig7_global_dependence.dir/fig7_global_dependence.cpp.o.d"
+  "fig7_global_dependence"
+  "fig7_global_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_global_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

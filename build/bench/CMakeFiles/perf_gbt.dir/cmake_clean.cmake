@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_gbt.dir/perf_gbt.cpp.o"
+  "CMakeFiles/perf_gbt.dir/perf_gbt.cpp.o.d"
+  "perf_gbt"
+  "perf_gbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_gbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_shap.dir/perf_shap.cpp.o"
+  "CMakeFiles/perf_shap.dir/perf_shap.cpp.o.d"
+  "perf_shap"
+  "perf_shap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_shap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_per_clinic.dir/table1_per_clinic.cpp.o"
+  "CMakeFiles/table1_per_clinic.dir/table1_per_clinic.cpp.o.d"
+  "table1_per_clinic"
+  "table1_per_clinic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_per_clinic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clinic_stratification.dir/clinic_stratification.cpp.o"
+  "CMakeFiles/clinic_stratification.dir/clinic_stratification.cpp.o.d"
+  "clinic_stratification"
+  "clinic_stratification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clinic_stratification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

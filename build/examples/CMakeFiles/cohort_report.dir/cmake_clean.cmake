@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohort_report.dir/cohort_report.cpp.o"
+  "CMakeFiles/cohort_report.dir/cohort_report.cpp.o.d"
+  "cohort_report"
+  "cohort_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohort_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

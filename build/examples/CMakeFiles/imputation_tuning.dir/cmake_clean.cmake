@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imputation_tuning.dir/imputation_tuning.cpp.o"
+  "CMakeFiles/imputation_tuning.dir/imputation_tuning.cpp.o.d"
+  "imputation_tuning"
+  "imputation_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imputation_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalized_medicine.dir/personalized_medicine.cpp.o"
+  "CMakeFiles/personalized_medicine.dir/personalized_medicine.cpp.o.d"
+  "personalized_medicine"
+  "personalized_medicine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalized_medicine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cohort/pro_questions.cc" "src/CMakeFiles/mysawh.dir/cohort/pro_questions.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/cohort/pro_questions.cc.o.d"
+  "/root/repo/src/cohort/simulator.cc" "src/CMakeFiles/mysawh.dir/cohort/simulator.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/cohort/simulator.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/CMakeFiles/mysawh.dir/core/evaluation.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/core/evaluation.cc.o.d"
+  "/root/repo/src/core/fi.cc" "src/CMakeFiles/mysawh.dir/core/fi.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/core/fi.cc.o.d"
+  "/root/repo/src/core/ici.cc" "src/CMakeFiles/mysawh.dir/core/ici.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/core/ici.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/mysawh.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/outcomes.cc" "src/CMakeFiles/mysawh.dir/core/outcomes.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/core/outcomes.cc.o.d"
+  "/root/repo/src/core/sample_builder.cc" "src/CMakeFiles/mysawh.dir/core/sample_builder.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/core/sample_builder.cc.o.d"
+  "/root/repo/src/core/study.cc" "src/CMakeFiles/mysawh.dir/core/study.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/core/study.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/mysawh.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/mysawh.dir/data/split.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/data/split.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/mysawh.dir/data/table.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/data/table.cc.o.d"
+  "/root/repo/src/explain/explanation.cc" "src/CMakeFiles/mysawh.dir/explain/explanation.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/explain/explanation.cc.o.d"
+  "/root/repo/src/explain/permutation_importance.cc" "src/CMakeFiles/mysawh.dir/explain/permutation_importance.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/explain/permutation_importance.cc.o.d"
+  "/root/repo/src/explain/tree_shap.cc" "src/CMakeFiles/mysawh.dir/explain/tree_shap.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/explain/tree_shap.cc.o.d"
+  "/root/repo/src/gam/gam_model.cc" "src/CMakeFiles/mysawh.dir/gam/gam_model.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/gam/gam_model.cc.o.d"
+  "/root/repo/src/gbt/binning.cc" "src/CMakeFiles/mysawh.dir/gbt/binning.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/gbt/binning.cc.o.d"
+  "/root/repo/src/gbt/gbt_model.cc" "src/CMakeFiles/mysawh.dir/gbt/gbt_model.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/gbt/gbt_model.cc.o.d"
+  "/root/repo/src/gbt/objective.cc" "src/CMakeFiles/mysawh.dir/gbt/objective.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/gbt/objective.cc.o.d"
+  "/root/repo/src/gbt/params.cc" "src/CMakeFiles/mysawh.dir/gbt/params.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/gbt/params.cc.o.d"
+  "/root/repo/src/gbt/trainer.cc" "src/CMakeFiles/mysawh.dir/gbt/trainer.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/gbt/trainer.cc.o.d"
+  "/root/repo/src/gbt/tree.cc" "src/CMakeFiles/mysawh.dir/gbt/tree.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/gbt/tree.cc.o.d"
+  "/root/repo/src/linear/dense_solver.cc" "src/CMakeFiles/mysawh.dir/linear/dense_solver.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/linear/dense_solver.cc.o.d"
+  "/root/repo/src/linear/linear_model.cc" "src/CMakeFiles/mysawh.dir/linear/linear_model.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/linear/linear_model.cc.o.d"
+  "/root/repo/src/series/aggregation.cc" "src/CMakeFiles/mysawh.dir/series/aggregation.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/series/aggregation.cc.o.d"
+  "/root/repo/src/series/interpolation.cc" "src/CMakeFiles/mysawh.dir/series/interpolation.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/series/interpolation.cc.o.d"
+  "/root/repo/src/series/time_series.cc" "src/CMakeFiles/mysawh.dir/series/time_series.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/series/time_series.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/mysawh.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/mysawh.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/mysawh.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/mysawh.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/mysawh.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/mysawh.dir/util/status.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/mysawh.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/mysawh.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/mysawh.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

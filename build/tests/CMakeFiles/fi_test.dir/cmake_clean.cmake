@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fi_test.dir/fi_test.cc.o"
+  "CMakeFiles/fi_test.dir/fi_test.cc.o.d"
+  "fi_test"
+  "fi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

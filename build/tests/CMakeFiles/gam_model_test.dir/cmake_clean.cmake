@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gam_model_test.dir/gam_model_test.cc.o"
+  "CMakeFiles/gam_model_test.dir/gam_model_test.cc.o.d"
+  "gam_model_test"
+  "gam_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gam_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

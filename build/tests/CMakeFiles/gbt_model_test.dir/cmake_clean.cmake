@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbt_model_test.dir/gbt_model_test.cc.o"
+  "CMakeFiles/gbt_model_test.dir/gbt_model_test.cc.o.d"
+  "gbt_model_test"
+  "gbt_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbt_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbt_properties_test.dir/gbt_properties_test.cc.o"
+  "CMakeFiles/gbt_properties_test.dir/gbt_properties_test.cc.o.d"
+  "gbt_properties_test"
+  "gbt_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbt_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

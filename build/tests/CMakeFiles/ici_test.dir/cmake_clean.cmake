@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ici_test.dir/ici_test.cc.o"
+  "CMakeFiles/ici_test.dir/ici_test.cc.o.d"
+  "ici_test"
+  "ici_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ici_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pro_questions_test.dir/pro_questions_test.cc.o"
+  "CMakeFiles/pro_questions_test.dir/pro_questions_test.cc.o.d"
+  "pro_questions_test"
+  "pro_questions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pro_questions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

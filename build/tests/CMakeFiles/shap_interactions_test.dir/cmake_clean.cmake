@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shap_interactions_test.dir/shap_interactions_test.cc.o"
+  "CMakeFiles/shap_interactions_test.dir/shap_interactions_test.cc.o.d"
+  "shap_interactions_test"
+  "shap_interactions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shap_interactions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_shap_test.dir/tree_shap_test.cc.o"
+  "CMakeFiles/tree_shap_test.dir/tree_shap_test.cc.o.d"
+  "tree_shap_test"
+  "tree_shap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_shap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

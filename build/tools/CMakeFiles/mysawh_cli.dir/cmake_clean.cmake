@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mysawh_cli.dir/mysawh_cli.cc.o"
+  "CMakeFiles/mysawh_cli.dir/mysawh_cli.cc.o.d"
+  "mysawh_cli"
+  "mysawh_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mysawh_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
