@@ -27,8 +27,8 @@ int main() {
       protocol));
 
   const int stride = 25;
-  const auto stages =
-      ValueOrDie(result.model.PredictStaged(result.test, stride));
+  const gbt::GbtModel* gbt = result.gbt_model();
+  const auto stages = ValueOrDie(gbt->PredictStaged(result.test, stride));
   TablePrinter table({"trees", "test 1-MAPE", "test MAE"});
   CsvDocument csv;
   csv.header = {"trees", "one_minus_mape", "mae"};
@@ -36,7 +36,7 @@ int main() {
     const auto metrics = ValueOrDie(
         core::ComputeRegressionMetrics(result.test.labels(), stages[s]));
     const auto trees = std::min<size_t>((s + 1) * stride,
-                                        result.model.trees().size());
+                                        gbt->trees().size());
     table.AddRow({std::to_string(trees),
                   FormatPercent(metrics.one_minus_mape, 2),
                   FormatDouble(metrics.mae, 4)});

@@ -42,7 +42,7 @@ int main() {
   for (const Cell& cell : cells) {
     auto result = ValueOrDie(core::RunExperiment(
         *cell.data, Outcome::kFalls, cell.approach, cell.with_fi, protocol));
-    const auto preds = ValueOrDie(result.model.Predict(result.test));
+    const auto preds = ValueOrDie(result.model->PredictBatch(result.test));
     const double auc = ValueOrDie(core::RocAuc(result.test.labels(), preds));
     const double brier =
         ValueOrDie(core::BrierScore(result.test.labels(), preds));
@@ -62,7 +62,7 @@ int main() {
             << table.ToString() << "\n";
 
   // Reliability diagram of the best model.
-  const auto preds = ValueOrDie(best->model.Predict(best->test));
+  const auto preds = ValueOrDie(best->model->PredictBatch(best->test));
   const auto bins =
       ValueOrDie(core::ComputeCalibrationBins(best->test.labels(), preds, 10));
   TablePrinter reliability(

@@ -28,9 +28,9 @@ int main() {
   const auto result = ValueOrDie(core::RunExperiment(
       sets.dd, Outcome::kFalls, Approach::kDataDriven, false, protocol));
 
-  const explain::TreeShap shap(&result.model);
-  const auto& names = result.model.feature_names();
-  const auto m = static_cast<size_t>(result.model.num_features());
+  const explain::TreeShap shap(result.gbt_model());
+  const auto& names = result.model->FeatureNames();
+  const auto m = static_cast<size_t>(result.model->NumFeatures());
 
   // Mean |interaction| over a sample of test rows (interactions are
   // O(M) SHAP passes per row, so sample).

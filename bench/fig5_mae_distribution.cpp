@@ -35,7 +35,8 @@ int main() {
         sets.dd_fi, outcome, Approach::kDataDriven, true, protocol));
 
     // Per-patient MAE on the held-out test rows.
-    const auto predictions = ValueOrDie(result.model.Predict(result.test));
+    const auto predictions =
+        ValueOrDie(result.model->PredictBatch(result.test));
     const auto* patients = ValueOrDie(result.test.Attribute("patient"));
     const auto* clinics = ValueOrDie(result.test.Attribute("clinic"));
     const auto per_patient = ValueOrDie(

@@ -26,9 +26,9 @@ int main() {
   const auto result = ValueOrDie(core::RunExperiment(
       sets.dd_fi, Outcome::kSppb, Approach::kDataDriven, true, protocol));
 
-  const explain::TreeShap shap(&result.model);
+  const explain::TreeShap shap(result.gbt_model());
   const Dataset& test = result.test;
-  const auto predictions = ValueOrDie(result.model.Predict(test));
+  const auto predictions = ValueOrDie(result.model->PredictBatch(test));
   const auto* patients = ValueOrDie(test.Attribute("patient"));
 
   // Precompute SHAP once, then find the pair of rows from DIFFERENT

@@ -27,7 +27,7 @@ int main() {
   const auto result = ValueOrDie(core::RunExperiment(
       sets.dd, Outcome::kQol, Approach::kDataDriven, false, protocol));
 
-  const explain::TreeShap shap(&result.model);
+  const explain::TreeShap shap(result.gbt_model());
   // Dependence over the full sample population (train + test), as the
   // paper's global plots are population-level.
   Dataset population = result.train;

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/perf_json_main.h"
 #include "data/dataset.h"
 #include "gbt/gbt_model.h"
 #include "util/rng.h"
@@ -119,3 +120,7 @@ void BM_Serialize(benchmark::State& state) {
 BENCHMARK(BM_Serialize)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return mysawh::bench::RunPerfBenchmarks(argc, argv, "BENCH_perf.json");
+}

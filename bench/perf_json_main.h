@@ -1,0 +1,47 @@
+#ifndef MYSAWH_BENCH_PERF_JSON_MAIN_H_
+#define MYSAWH_BENCH_PERF_JSON_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mysawh::bench {
+
+/// Runs the registered google-benchmark suite with the usual console
+/// reporter, and additionally writes the results as JSON to `default_out`
+/// in the working directory — so CI and scripts get machine-readable
+/// numbers without extra flags. A caller-provided --benchmark_out wins.
+///
+/// The extra flags must be injected into argv *before* Initialize: passing
+/// a file reporter to RunSpecifiedBenchmarks without --benchmark_out set
+/// aborts inside the library.
+inline int RunPerfBenchmarks(int argc, char** argv, const char* default_out) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  // Static storage: benchmark keeps pointers into argv past Initialize.
+  static std::string out_flag;
+  static std::string format_flag;
+  if (!has_out) {
+    out_flag = std::string("--benchmark_out=") + default_out;
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mysawh::bench
+
+#endif  // MYSAWH_BENCH_PERF_JSON_MAIN_H_

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/perf_json_main.h"
 #include "data/dataset.h"
 #include "explain/tree_shap.h"
 #include "gbt/gbt_model.h"
@@ -87,3 +88,7 @@ void BM_ShapBatch(benchmark::State& state) {
 BENCHMARK(BM_ShapBatch)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return mysawh::bench::RunPerfBenchmarks(argc, argv, "BENCH_perf.json");
+}

@@ -12,6 +12,7 @@
 #include "core/sample_builder.h"
 #include "explain/explanation.h"
 #include "explain/tree_shap.h"
+#include "model/model.h"
 #include "util/string_util.h"
 
 namespace {
@@ -49,22 +50,29 @@ int Run() {
             << FormatPercent(result->test_regression.one_minus_mape, 1)
             << " on held-out patients\n\n";
 
-  // Persist and reload: the clinic deploys a serialized model file.
+  // Persist and reload: the clinic deploys a serialized model file. The
+  // registry reads the kind header and rebuilds the concrete family.
   const std::string model_path = "sppb_model.mysawh";
-  if (auto st = result->model.SaveToFile(model_path); !st.ok()) {
+  if (auto st = result->model->SaveToFile(model_path); !st.ok()) {
     std::cerr << st.ToString() << "\n";
     return 1;
   }
-  auto deployed = gbt::GbtModel::LoadFromFile(model_path);
+  auto deployed = model::Model::LoadFromFile(model_path);
   if (!deployed.ok()) {
     std::cerr << deployed.status().ToString() << "\n";
     return 1;
   }
+  const auto* deployed_gbt =
+      dynamic_cast<const gbt::GbtModel*>(deployed->get());
+  if (deployed_gbt == nullptr) {
+    std::cerr << "expected a GBT model in " << model_path << "\n";
+    return 1;
+  }
   std::cout << "Model persisted to " << model_path << " and reloaded ("
-            << deployed->trees().size() << " trees)\n\n";
+            << deployed_gbt->trees().size() << " trees)\n\n";
 
   // Explain a handful of incoming patients.
-  const explain::TreeShap shap(&*deployed);
+  const explain::TreeShap shap(deployed_gbt);
   const Dataset& incoming = result->test;
   const auto* patients = incoming.Attribute("patient").value();
   std::cout << "Per-patient reports (prediction + top 3 drivers):\n\n";

@@ -92,7 +92,7 @@ int Run() {
             << table.ToString() << "\n";
 
   // 4. Explain one test-set prediction with TreeSHAP (paper Fig 6).
-  mysawh::explain::TreeShap shap(&dd_fi_result.model);
+  mysawh::explain::TreeShap shap(dd_fi_result.gbt_model());
   auto explanation = mysawh::explain::ExplainRow(shap, dd_fi_result.test, 0);
   if (!explanation.ok()) {
     std::cerr << explanation.status().ToString() << "\n";

@@ -1,14 +1,36 @@
 #include "core/evaluation.h"
 
 #include <cmath>
+#include <utility>
 
 #include "data/split.h"
+#include "linear/linear_model.h"
 #include "util/rng.h"
 
 namespace mysawh::core {
 
 const char* ApproachName(Approach approach) {
   return approach == Approach::kDataDriven ? "DD" : "KD";
+}
+
+const char* ModelFamilyName(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kGbt:
+      return "gbt";
+    case ModelFamily::kLinear:
+      return "linear";
+    case ModelFamily::kGam:
+      return "gam";
+  }
+  return "unknown";
+}
+
+Result<ModelFamily> ParseModelFamily(const std::string& name) {
+  if (name == "gbt") return ModelFamily::kGbt;
+  if (name == "linear") return ModelFamily::kLinear;
+  if (name == "gam") return ModelFamily::kGam;
+  return Status::InvalidArgument(
+      "unknown model family: " + name + " (expected gbt, linear, or gam)");
 }
 
 double ExperimentResult::HeadlineMetric() const {
@@ -43,6 +65,58 @@ gbt::GbtParams DefaultGbtParams(Outcome outcome, Approach approach) {
     params.objective = gbt::ObjectiveType::kSquaredError;
   }
   return params;
+}
+
+ModelFamilyConfig DefaultModelConfig(Outcome outcome, Approach approach,
+                                     ModelFamily family) {
+  ModelFamilyConfig config;
+  config.family = family;
+  config.gbt = DefaultGbtParams(outcome, approach);
+  config.gam.objective = IsClassification(outcome)
+                             ? gbt::ObjectiveType::kLogistic
+                             : gbt::ObjectiveType::kSquaredError;
+  return config;
+}
+
+Result<std::unique_ptr<model::Model>> TrainModel(
+    const Dataset& train, Outcome outcome, const ModelFamilyConfig& config) {
+  switch (config.family) {
+    case ModelFamily::kGbt: {
+      MYSAWH_ASSIGN_OR_RETURN(gbt::GbtModel model,
+                              gbt::GbtModel::Train(train, config.gbt));
+      return std::unique_ptr<model::Model>(
+          new gbt::GbtModel(std::move(model)));
+    }
+    case ModelFamily::kLinear: {
+      // The linear family resolves to logistic regression when the outcome
+      // is a classification task, so probabilities come out calibrated.
+      if (IsClassification(outcome)) {
+        MYSAWH_ASSIGN_OR_RETURN(
+            linear::LogisticModel model,
+            linear::LogisticModel::Train(train, config.linear_lambda));
+        return std::unique_ptr<model::Model>(
+            new linear::LogisticModel(std::move(model)));
+      }
+      MYSAWH_ASSIGN_OR_RETURN(
+          linear::LinearModel model,
+          linear::LinearModel::Train(train, config.linear_lambda));
+      return std::unique_ptr<model::Model>(
+          new linear::LinearModel(std::move(model)));
+    }
+    case ModelFamily::kGam: {
+      // Force the objective to match the outcome type so predictions are
+      // always on the scale the metrics expect.
+      gam::GamParams params = config.gam;
+      params.objective = IsClassification(outcome)
+                             ? gbt::ObjectiveType::kLogistic
+                             : gbt::ObjectiveType::kSquaredError;
+      MYSAWH_ASSIGN_OR_RETURN(gam::GamModel model,
+                              gam::GamModel::Train(train, params));
+      return std::unique_ptr<model::Model>(
+          new gam::GamModel(std::move(model)));
+    }
+  }
+  return Status::InvalidArgument("unknown model family");
 }
 
 namespace {
@@ -95,11 +169,27 @@ ClassificationMetrics MeanClassification(
   return mean;
 }
 
+/// Family-specific hyperparameter validation.
+Status ValidateConfig(const ModelFamilyConfig& config) {
+  switch (config.family) {
+    case ModelFamily::kGbt:
+      return config.gbt.Validate();
+    case ModelFamily::kGam:
+      return config.gam.Validate();
+    case ModelFamily::kLinear:
+      if (config.linear_lambda < 0.0) {
+        return Status::InvalidArgument("linear_lambda must be >= 0");
+      }
+      return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown model family");
+}
+
 }  // namespace
 
 Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,
                                        Approach approach, bool with_fi,
-                                       const gbt::GbtParams& params,
+                                       const ModelFamilyConfig& config,
                                        const EvalProtocol& protocol) {
   if (samples.num_rows() < 10) {
     return Status::InvalidArgument("experiment needs at least 10 samples");
@@ -107,7 +197,7 @@ Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,
   if (protocol.cv_folds < 2) {
     return Status::InvalidArgument("cv_folds must be >= 2");
   }
-  MYSAWH_RETURN_NOT_OK(params.Validate());
+  MYSAWH_RETURN_NOT_OK(ValidateConfig(config));
 
   ExperimentResult result;
   result.outcome = outcome;
@@ -147,10 +237,10 @@ Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,
                             result.train.Take(fold.train));
     MYSAWH_ASSIGN_OR_RETURN(Dataset fold_valid,
                             result.train.Take(fold.validation));
-    MYSAWH_ASSIGN_OR_RETURN(gbt::GbtModel model,
-                            gbt::GbtModel::Train(fold_train, params));
+    MYSAWH_ASSIGN_OR_RETURN(std::unique_ptr<model::Model> model,
+                            TrainModel(fold_train, outcome, config));
     MYSAWH_ASSIGN_OR_RETURN(std::vector<double> preds,
-                            model.Predict(fold_valid));
+                            model->PredictBatch(fold_valid));
     if (result.is_classification) {
       MYSAWH_ASSIGN_OR_RETURN(
           ClassificationMetrics m,
@@ -169,9 +259,9 @@ Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,
 
   // Final model on all train rows, evaluated on the held-out test rows.
   MYSAWH_ASSIGN_OR_RETURN(result.model,
-                          gbt::GbtModel::Train(result.train, params));
+                          TrainModel(result.train, outcome, config));
   MYSAWH_ASSIGN_OR_RETURN(std::vector<double> test_preds,
-                          result.model.Predict(result.test));
+                          result.model->PredictBatch(result.test));
   if (result.is_classification) {
     MYSAWH_ASSIGN_OR_RETURN(
         result.test_classification,
@@ -183,6 +273,16 @@ Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,
         ComputeRegressionMetrics(result.test.labels(), test_preds));
   }
   return result;
+}
+
+Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,
+                                       Approach approach, bool with_fi,
+                                       const gbt::GbtParams& params,
+                                       const EvalProtocol& protocol) {
+  ModelFamilyConfig config;
+  config.family = ModelFamily::kGbt;
+  config.gbt = params;
+  return RunExperiment(samples, outcome, approach, with_fi, config, protocol);
 }
 
 Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,

@@ -1,13 +1,16 @@
 #ifndef MYSAWH_CORE_EVALUATION_H_
 #define MYSAWH_CORE_EVALUATION_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/metrics.h"
 #include "core/outcomes.h"
 #include "data/dataset.h"
+#include "gam/gam_model.h"
 #include "gbt/gbt_model.h"
+#include "model/model.h"
 #include "util/status.h"
 
 namespace mysawh::core {
@@ -19,6 +22,29 @@ enum class Approach {
 };
 /// "DD" / "KD".
 const char* ApproachName(Approach approach);
+
+/// Which model family an experiment cell trains. The paper's pipeline uses
+/// gradient boosting; the linear and GAM families run the same protocol for
+/// baseline comparisons (cf. `bench/ablation_model_families`).
+enum class ModelFamily {
+  kGbt,     ///< Gradient-boosted trees (the paper's choice).
+  kLinear,  ///< Ridge regression / logistic regression by outcome type.
+  kGam,     ///< Cyclic-boosted generalized additive model.
+};
+
+/// "gbt" / "linear" / "gam".
+const char* ModelFamilyName(ModelFamily family);
+/// Inverse of ModelFamilyName; InvalidArgument on unknown names.
+Result<ModelFamily> ParseModelFamily(const std::string& name);
+
+/// Hyperparameters for one experiment cell, covering every model family.
+/// Only the block matching `family` is consulted at training time.
+struct ModelFamilyConfig {
+  ModelFamily family = ModelFamily::kGbt;
+  gbt::GbtParams gbt;
+  gam::GamParams gam;
+  double linear_lambda = 1.0;  ///< Ridge strength for the linear family.
+};
 
 /// Train/test and cross-validation protocol, mirroring the paper: standard
 /// KFold CV on 80% of the samples and a test phase on the remaining 20%.
@@ -34,6 +60,8 @@ struct EvalProtocol {
 /// FI-usage): test metrics, CV-mean metrics, the final model, and the
 /// train/test partitions (retained so SHAP analyses can run on exactly the
 /// evaluation data).
+///
+/// Move-only: the trained model is held polymorphically.
 struct ExperimentResult {
   Outcome outcome = Outcome::kQol;
   Approach approach = Approach::kDataDriven;
@@ -45,9 +73,16 @@ struct ExperimentResult {
   RegressionMetrics cv_regression;        ///< Fold means.
   ClassificationMetrics cv_classification;
 
-  gbt::GbtModel model;  ///< Trained on the 80% train partition.
+  std::unique_ptr<model::Model> model;  ///< Trained on the 80% train side.
   Dataset train;
   Dataset test;
+
+  /// The trained model as a GBT, or nullptr when another family was used.
+  /// TreeSHAP and the staged-prediction analyses are tree-only and need the
+  /// concrete type.
+  const gbt::GbtModel* gbt_model() const {
+    return dynamic_cast<const gbt::GbtModel*>(model.get());
+  }
 
   /// The headline scalar of Fig 4: 1-MAPE for regression, accuracy for
   /// classification.
@@ -59,11 +94,29 @@ struct ExperimentResult {
 /// objective with a class-imbalance weight.
 gbt::GbtParams DefaultGbtParams(Outcome outcome, Approach approach);
 
+/// Default hyperparameters for any family on one outcome/approach cell.
+/// The GBT block always matches DefaultGbtParams so family == kGbt
+/// reproduces the paper pipeline exactly.
+ModelFamilyConfig DefaultModelConfig(Outcome outcome, Approach approach,
+                                     ModelFamily family = ModelFamily::kGbt);
+
+/// Trains one model of the configured family on `train`. The linear family
+/// resolves to logistic regression for classification outcomes.
+Result<std::unique_ptr<model::Model>> TrainModel(const Dataset& train,
+                                                 Outcome outcome,
+                                                 const ModelFamilyConfig& config);
+
 /// Runs one experiment cell on a sample set (pass SampleSets::dd, dd_fi,
 /// kd or kd_fi; `approach`/`with_fi` are recorded as metadata): splits
 /// 80/20 (stratified for Falls), K-fold cross-validates on the train side,
 /// trains the final model on all train rows, and evaluates on the test
 /// side.
+Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,
+                                       Approach approach, bool with_fi,
+                                       const ModelFamilyConfig& config,
+                                       const EvalProtocol& protocol);
+
+/// GBT-only overload, kept for the paper pipeline's call sites.
 Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,
                                        Approach approach, bool with_fi,
                                        const gbt::GbtParams& params,

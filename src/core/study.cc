@@ -1,9 +1,13 @@
 #include "core/study.h"
 
 #include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "cohort/simulator.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace mysawh::core {
 
@@ -78,6 +82,19 @@ Result<StudyResult> RunFullStudy(const StudyConfig& config) {
   MYSAWH_ASSIGN_OR_RETURN(SampleSetBuilder builder,
                           SampleSetBuilder::Create(&cohort, config.build));
   StudyResult study;
+
+  // Build all sample sets up front (the builder is stateful), then fan the
+  // twelve independent cells out over a pool. Each cell seeds its own Rng
+  // from the protocol, so the grid is deterministic for any thread count.
+  struct CellJob {
+    const Dataset* data = nullptr;
+    Outcome outcome = Outcome::kQol;
+    Approach approach = Approach::kDataDriven;
+    bool with_fi = false;
+  };
+  std::vector<SampleSets> all_sets;
+  all_sets.reserve(3);  // jobs hold pointers into all_sets; no reallocation
+  std::vector<CellJob> jobs;
   for (Outcome outcome : {Outcome::kQol, Outcome::kSppb, Outcome::kFalls}) {
     MYSAWH_ASSIGN_OR_RETURN(SampleSets sets, builder.Build(outcome));
     if (outcome == Outcome::kQol) {
@@ -85,25 +102,40 @@ Result<StudyResult> RunFullStudy(const StudyConfig& config) {
       study.retained = sets.retained;
       study.gap_stats = sets.gap_stats_raw;
     }
-    const struct {
-      const Dataset* data;
-      Approach approach;
-      bool with_fi;
-    } grid[] = {
-        {&sets.kd, Approach::kKnowledgeDriven, false},
-        {&sets.kd_fi, Approach::kKnowledgeDriven, true},
-        {&sets.dd, Approach::kDataDriven, false},
-        {&sets.dd_fi, Approach::kDataDriven, true},
-    };
-    for (const auto& cell : grid) {
-      MYSAWH_ASSIGN_OR_RETURN(
-          ExperimentResult result,
-          RunExperiment(*cell.data, outcome, cell.approach, cell.with_fi,
-                        config.protocol));
-      study.cells.emplace(
-          StudyCellKey{outcome, cell.approach, cell.with_fi},
-          std::move(result));
-    }
+    all_sets.push_back(std::move(sets));
+    const SampleSets& stored = all_sets.back();
+    jobs.push_back({&stored.kd, outcome, Approach::kKnowledgeDriven, false});
+    jobs.push_back({&stored.kd_fi, outcome, Approach::kKnowledgeDriven, true});
+    jobs.push_back({&stored.dd, outcome, Approach::kDataDriven, false});
+    jobs.push_back({&stored.dd_fi, outcome, Approach::kDataDriven, true});
+  }
+
+  int num_threads = config.num_threads;
+  if (num_threads == 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  ThreadPool pool(num_threads);
+  std::vector<Result<ExperimentResult>> outcomes_by_cell;
+  outcomes_by_cell.reserve(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    outcomes_by_cell.emplace_back(Status::Internal("cell never ran"));
+  }
+  pool.ParallelFor(static_cast<int64_t>(jobs.size()), [&](int64_t i) {
+    const CellJob& job = jobs[static_cast<size_t>(i)];
+    ModelFamilyConfig model_config =
+        DefaultModelConfig(job.outcome, job.approach, config.model_family);
+    outcomes_by_cell[static_cast<size_t>(i)] =
+        RunExperiment(*job.data, job.outcome, job.approach, job.with_fi,
+                      model_config, config.protocol);
+  });
+
+  // Collect in grid order so the first error reported is deterministic too.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    MYSAWH_ASSIGN_OR_RETURN(ExperimentResult result,
+                            std::move(outcomes_by_cell[i]));
+    study.cells.emplace(
+        StudyCellKey{jobs[i].outcome, jobs[i].approach, jobs[i].with_fi},
+        std::move(result));
   }
   return study;
 }

@@ -16,6 +16,12 @@ struct StudyConfig {
   cohort::CohortConfig cohort;
   SampleBuildOptions build;
   EvalProtocol protocol;
+  /// Model family trained in every cell (kGbt reproduces the paper).
+  ModelFamily model_family = ModelFamily::kGbt;
+  /// Worker threads for the 12-cell grid; 0 picks the hardware count,
+  /// 1 runs sequentially. Results are identical for any thread count:
+  /// each cell derives its randomness solely from `protocol.seed`.
+  int num_threads = 0;
 };
 
 /// Key of one experiment cell in the study grid.
@@ -51,7 +57,9 @@ struct StudyResult {
 
 /// Runs the full DD-vs-KD study: generates the cohort, builds the aligned
 /// sample sets for each outcome, and evaluates all twelve grid cells with
-/// the default per-cell hyperparameters.
+/// the default per-cell hyperparameters. Cells run concurrently on a
+/// thread pool sized by `config.num_threads`; the result is deterministic
+/// regardless of parallelism.
 Result<StudyResult> RunFullStudy(const StudyConfig& config);
 
 }  // namespace mysawh::core

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
+
+#include "util/serialization.h"
+#include "util/string_util.h"
 
 namespace mysawh::gam {
 
@@ -275,6 +279,104 @@ Result<std::vector<double>> GamModel::Predict(const Dataset& data) const {
     out[static_cast<size_t>(i)] = PredictRow(data.row(i));
   }
   return out;
+}
+
+std::string GamModel::Serialize() const {
+  std::ostringstream os;
+  os << "mysawh-gam v1\n";
+  os << "objective " << gbt::ObjectiveTypeName(objective_type_) << "\n";
+  os << "base_score " << EncodeDouble(base_score_) << "\n";
+  os << "expected_value " << EncodeDouble(expected_value_) << "\n";
+  os << "num_features " << feature_names_.size() << "\n";
+  for (const auto& name : feature_names_) os << "feature " << name << "\n";
+  os << "mean_contributions " << EncodeDoubleVector(mean_contribution_)
+     << "\n";
+  os << "num_trees " << trees_.size() << "\n";
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    os << "tree " << tree_feature_[t] << " " << trees_[t].num_nodes() << "\n";
+    for (int i = 0; i < trees_[t].num_nodes(); ++i) {
+      os << gbt::TreeNodeToText(trees_[t].node(i)) << "\n";
+    }
+  }
+  return os.str();
+}
+
+Result<GamModel> GamModel::Deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  auto next_line = [&]() -> Result<std::string> {
+    if (!std::getline(is, line)) {
+      return Status::InvalidArgument("model text truncated");
+    }
+    return line;
+  };
+  auto field = [&](const char* key) -> Result<std::string> {
+    MYSAWH_ASSIGN_OR_RETURN(std::string l, next_line());
+    const auto parts = Split(l, ' ');
+    if (parts.size() != 2 || parts[0] != key) {
+      return Status::InvalidArgument(std::string("bad ") + key + " line: " + l);
+    }
+    return parts[1];
+  };
+  MYSAWH_ASSIGN_OR_RETURN(std::string header, next_line());
+  if (header != "mysawh-gam v1") {
+    return Status::InvalidArgument("bad model header: " + header);
+  }
+  GamModel model;
+  MYSAWH_ASSIGN_OR_RETURN(std::string obj_name, field("objective"));
+  MYSAWH_ASSIGN_OR_RETURN(model.objective_type_,
+                          gbt::ParseObjectiveType(obj_name));
+  MYSAWH_ASSIGN_OR_RETURN(std::string base_hex, field("base_score"));
+  MYSAWH_ASSIGN_OR_RETURN(model.base_score_, DecodeDouble(base_hex));
+  MYSAWH_ASSIGN_OR_RETURN(std::string ev_hex, field("expected_value"));
+  MYSAWH_ASSIGN_OR_RETURN(model.expected_value_, DecodeDouble(ev_hex));
+  MYSAWH_ASSIGN_OR_RETURN(std::string nf_str, field("num_features"));
+  MYSAWH_ASSIGN_OR_RETURN(int64_t num_features, ParseInt64(nf_str));
+  if (num_features < 1) {
+    return Status::InvalidArgument("bad num_features: " + nf_str);
+  }
+  for (int64_t i = 0; i < num_features; ++i) {
+    MYSAWH_ASSIGN_OR_RETURN(std::string fline, next_line());
+    if (!StartsWith(fline, "feature ")) {
+      return Status::InvalidArgument("bad feature line: " + fline);
+    }
+    model.feature_names_.push_back(fline.substr(8));
+  }
+  MYSAWH_ASSIGN_OR_RETURN(std::string mc_line, next_line());
+  if (!StartsWith(mc_line, "mean_contributions")) {
+    return Status::InvalidArgument("bad mean_contributions line: " + mc_line);
+  }
+  MYSAWH_ASSIGN_OR_RETURN(
+      model.mean_contribution_,
+      DecodeDoubleVector(Trim(mc_line.substr(18)), num_features));
+  MYSAWH_ASSIGN_OR_RETURN(std::string nt_str, field("num_trees"));
+  MYSAWH_ASSIGN_OR_RETURN(int64_t num_trees, ParseInt64(nt_str));
+  for (int64_t t = 0; t < num_trees; ++t) {
+    MYSAWH_ASSIGN_OR_RETURN(std::string tline, next_line());
+    const auto tparts = Split(tline, ' ');
+    if (tparts.size() != 3 || tparts[0] != "tree") {
+      return Status::InvalidArgument("bad tree line: " + tline);
+    }
+    MYSAWH_ASSIGN_OR_RETURN(int64_t feature, ParseInt64(tparts[1]));
+    if (feature < 0 || feature >= num_features) {
+      return Status::InvalidArgument("tree feature out of range: " + tline);
+    }
+    MYSAWH_ASSIGN_OR_RETURN(int64_t num_nodes, ParseInt64(tparts[2]));
+    if (num_nodes < 1) return Status::InvalidArgument("empty tree");
+    std::vector<gbt::TreeNode> nodes;
+    nodes.reserve(static_cast<size_t>(num_nodes));
+    for (int64_t i = 0; i < num_nodes; ++i) {
+      MYSAWH_ASSIGN_OR_RETURN(std::string nline, next_line());
+      MYSAWH_ASSIGN_OR_RETURN(gbt::TreeNode node,
+                              gbt::TreeNodeFromText(nline));
+      nodes.push_back(node);
+    }
+    RegressionTree rebuilt = RegressionTree::FromNodes(std::move(nodes));
+    MYSAWH_RETURN_NOT_OK(rebuilt.Validate());
+    model.trees_.push_back(std::move(rebuilt));
+    model.tree_feature_.push_back(static_cast<int>(feature));
+  }
+  return model;
 }
 
 Result<std::vector<double>> GamModel::ShapeFunction(

@@ -8,6 +8,7 @@
 #include "data/dataset.h"
 #include "gbt/objective.h"
 #include "gbt/tree.h"
+#include "model/model.h"
 #include "util/status.h"
 
 namespace mysawh::gam {
@@ -32,7 +33,10 @@ struct GamParams {
 /// The paper reports that gradient boosting outperformed GA2M on the MySAwH
 /// task and therefore chose XGBoost + post-hoc SHAP; this class is the
 /// baseline that ablation reproduces (`bench/ablation_model_families`).
-class GamModel {
+///
+/// Implements the polymorphic `model::Model` interface, registered in the
+/// serialization registry under kind "gam".
+class GamModel : public model::Model {
  public:
   GamModel() = default;
 
@@ -45,6 +49,23 @@ class GamModel {
   double PredictRow(const double* row) const;
   /// Batch prediction (transformed scale).
   Result<std::vector<double>> Predict(const Dataset& data) const;
+
+  // model::Model interface.
+  std::string Kind() const override { return "gam"; }
+  bool IsClassifier() const override {
+    return objective_type_ == gbt::ObjectiveType::kLogistic;
+  }
+  int64_t NumFeatures() const override { return num_features(); }
+  const std::vector<std::string>& FeatureNames() const override {
+    return feature_names_;
+  }
+  double Predict(const double* row) const override { return PredictRow(row); }
+  /// Serializes the full model (objective, base score, shape-function
+  /// trees, Shapley baselines) to a text payload that round-trips exactly.
+  std::string Serialize() const override;
+
+  /// Parses a payload produced by Serialize().
+  static Result<GamModel> Deserialize(const std::string& text);
 
   /// Evaluates the learned shape function of `feature` at the given values
   /// (the additive contribution f_j(x), raw scale). Missing input (NaN)

@@ -1,11 +1,10 @@
 #include "gbt/gbt_model.h"
 
 #include <cmath>
-#include <cstring>
-#include <fstream>
 #include <sstream>
 
 #include "gbt/trainer.h"
+#include "util/serialization.h"
 #include "util/string_util.h"
 
 namespace mysawh::gbt {
@@ -111,32 +110,6 @@ std::map<std::string, double> GbtModel::CoverImportance() const {
   return importance;
 }
 
-namespace {
-
-/// Hex encoding of a double's bits: exact round-trip, locale-independent.
-std::string EncodeDouble(double v) {
-  uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  std::ostringstream os;
-  os << std::hex << bits;
-  return os.str();
-}
-
-Result<double> DecodeDouble(const std::string& s) {
-  uint64_t bits = 0;
-  std::istringstream is(s);
-  is >> std::hex >> bits;
-  if (is.fail() || !is.eof()) {
-    return Status::InvalidArgument("bad double encoding: " + s);
-  }
-  double v;
-  std::memcpy(&v, &bits, sizeof(v));
-  return v;
-}
-
-}  // namespace
-
 std::string GbtModel::Serialize() const {
   std::ostringstream os;
   os << "mysawh-gbt v1\n";
@@ -149,11 +122,7 @@ std::string GbtModel::Serialize() const {
   for (const auto& tree : trees_) {
     os << "tree " << tree.num_nodes() << "\n";
     for (int i = 0; i < tree.num_nodes(); ++i) {
-      const TreeNode& n = tree.node(i);
-      os << n.left << " " << n.right << " " << n.feature << " "
-         << EncodeDouble(n.threshold) << " " << (n.default_left ? 1 : 0)
-         << " " << EncodeDouble(n.value) << " " << EncodeDouble(n.gain) << " "
-         << EncodeDouble(n.cover) << "\n";
+      os << TreeNodeToText(tree.node(i)) << "\n";
     }
   }
   return os.str();
@@ -236,46 +205,14 @@ Result<GbtModel> GbtModel::Deserialize(const std::string& text) {
     nodes.reserve(static_cast<size_t>(num_nodes));
     for (int64_t i = 0; i < num_nodes; ++i) {
       MYSAWH_ASSIGN_OR_RETURN(std::string nline, next_line());
-      const auto p = Split(nline, ' ');
-      if (p.size() != 8) {
-        return Status::InvalidArgument("bad node line: " + nline);
-      }
-      TreeNode n;
-      MYSAWH_ASSIGN_OR_RETURN(int64_t left, ParseInt64(p[0]));
-      MYSAWH_ASSIGN_OR_RETURN(int64_t right, ParseInt64(p[1]));
-      MYSAWH_ASSIGN_OR_RETURN(int64_t feature, ParseInt64(p[2]));
-      n.left = static_cast<int32_t>(left);
-      n.right = static_cast<int32_t>(right);
-      n.feature = static_cast<int32_t>(feature);
-      MYSAWH_ASSIGN_OR_RETURN(n.threshold, DecodeDouble(p[3]));
-      MYSAWH_ASSIGN_OR_RETURN(int64_t dl, ParseInt64(p[4]));
-      n.default_left = dl != 0;
-      MYSAWH_ASSIGN_OR_RETURN(n.value, DecodeDouble(p[5]));
-      MYSAWH_ASSIGN_OR_RETURN(n.gain, DecodeDouble(p[6]));
-      MYSAWH_ASSIGN_OR_RETURN(n.cover, DecodeDouble(p[7]));
-      nodes.push_back(n);
+      MYSAWH_ASSIGN_OR_RETURN(TreeNode node, TreeNodeFromText(nline));
+      nodes.push_back(node);
     }
     RegressionTree rebuilt = RegressionTree::FromNodes(std::move(nodes));
     MYSAWH_RETURN_NOT_OK(rebuilt.Validate());
     model.trees_.push_back(std::move(rebuilt));
   }
   return model;
-}
-
-Status GbtModel::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  out << Serialize();
-  if (!out) return Status::IoError("failed writing: " + path);
-  return Status::Ok();
-}
-
-Result<GbtModel> GbtModel::LoadFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return Deserialize(buffer.str());
 }
 
 }  // namespace mysawh::gbt

@@ -9,6 +9,7 @@
 #include "gbt/objective.h"
 #include "gbt/params.h"
 #include "gbt/tree.h"
+#include "model/model.h"
 #include "util/status.h"
 
 namespace mysawh::gbt {
@@ -29,7 +30,10 @@ struct TrainingLog {
 /// pseudo-Huber) and binary classification (logistic), missing values via
 /// learned default directions, L1/L2/gamma regularization, row and column
 /// subsampling, histogram or exact split finding, and early stopping.
-class GbtModel {
+///
+/// Implements the polymorphic `model::Model` interface, registered in the
+/// serialization registry under kind "gbt".
+class GbtModel : public model::Model {
  public:
   GbtModel() = default;
 
@@ -51,6 +55,20 @@ class GbtModel {
   Result<std::vector<double>> Predict(const Dataset& data) const;
   /// Batch raw margins.
   Result<std::vector<double>> PredictRaw(const Dataset& data) const;
+
+  // model::Model interface.
+  std::string Kind() const override { return "gbt"; }
+  bool IsClassifier() const override {
+    return objective_type_ == ObjectiveType::kLogistic;
+  }
+  int64_t NumFeatures() const override { return num_features(); }
+  const std::vector<std::string>& FeatureNames() const override {
+    return feature_names_;
+  }
+  double Predict(const double* row) const override { return PredictRow(row); }
+  Result<std::vector<double>> PredictBatch(const Dataset& data) const override {
+    return Predict(data);
+  }
 
   /// Staged batch prediction: transformed predictions after every `stride`
   /// trees (1, stride, 2*stride, ..., and always the full ensemble).
@@ -81,12 +99,11 @@ class GbtModel {
 
   /// Serializes the full model (objective, base score, feature names,
   /// trees) to a line-oriented text format that round-trips exactly.
-  std::string Serialize() const;
-  /// Parses a model produced by Serialize().
+  /// File round-trips go through the base layer's `model::Model::SaveToFile`
+  /// / `LoadFromFile`, which add and dispatch on the `kind:` header.
+  std::string Serialize() const override;
+  /// Parses a payload produced by Serialize().
   static Result<GbtModel> Deserialize(const std::string& text);
-  /// File variants.
-  Status SaveToFile(const std::string& path) const;
-  static Result<GbtModel> LoadFromFile(const std::string& path);
 
  private:
   friend class Trainer;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <sstream>
 
+#include "util/serialization.h"
 #include "util/string_util.h"
 
 namespace mysawh::gbt {
@@ -132,6 +133,36 @@ std::string RegressionTree::ToString(
   };
   dump(0, 0);
   return os.str();
+}
+
+std::string TreeNodeToText(const TreeNode& node) {
+  std::ostringstream os;
+  os << node.left << " " << node.right << " " << node.feature << " "
+     << EncodeDouble(node.threshold) << " " << (node.default_left ? 1 : 0)
+     << " " << EncodeDouble(node.value) << " " << EncodeDouble(node.gain)
+     << " " << EncodeDouble(node.cover);
+  return os.str();
+}
+
+Result<TreeNode> TreeNodeFromText(const std::string& line) {
+  const auto p = Split(line, ' ');
+  if (p.size() != 8) {
+    return Status::InvalidArgument("bad node line: " + line);
+  }
+  TreeNode n;
+  MYSAWH_ASSIGN_OR_RETURN(int64_t left, ParseInt64(p[0]));
+  MYSAWH_ASSIGN_OR_RETURN(int64_t right, ParseInt64(p[1]));
+  MYSAWH_ASSIGN_OR_RETURN(int64_t feature, ParseInt64(p[2]));
+  n.left = static_cast<int32_t>(left);
+  n.right = static_cast<int32_t>(right);
+  n.feature = static_cast<int32_t>(feature);
+  MYSAWH_ASSIGN_OR_RETURN(n.threshold, DecodeDouble(p[3]));
+  MYSAWH_ASSIGN_OR_RETURN(int64_t dl, ParseInt64(p[4]));
+  n.default_left = dl != 0;
+  MYSAWH_ASSIGN_OR_RETURN(n.value, DecodeDouble(p[5]));
+  MYSAWH_ASSIGN_OR_RETURN(n.gain, DecodeDouble(p[6]));
+  MYSAWH_ASSIGN_OR_RETURN(n.cover, DecodeDouble(p[7]));
+  return n;
 }
 
 }  // namespace mysawh::gbt

@@ -69,6 +69,14 @@ class RegressionTree {
   std::vector<TreeNode> nodes_;
 };
 
+/// Serializes one node as the 8-field space-separated line shared by the
+/// model text formats (children, feature, hex-encoded threshold/value/
+/// gain/cover, default direction).
+std::string TreeNodeToText(const TreeNode& node);
+
+/// Parses a line produced by TreeNodeToText.
+Result<TreeNode> TreeNodeFromText(const std::string& line);
+
 }  // namespace mysawh::gbt
 
 #endif  // MYSAWH_GBT_TREE_H_

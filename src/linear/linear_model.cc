@@ -1,12 +1,96 @@
 #include "linear/linear_model.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "linear/dense_solver.h"
+#include "util/serialization.h"
+#include "util/string_util.h"
 
 namespace mysawh::linear {
 
 namespace {
+
+/// Shared text payload of the two generalized-linear families: header,
+/// hex-encoded intercept, feature names, weight and imputation-mean rows.
+std::string SerializeGeneralizedLinear(
+    const char* header, double intercept,
+    const std::vector<std::string>& feature_names,
+    const std::vector<double>& weights, const std::vector<double>& means) {
+  std::ostringstream os;
+  os << header << "\n";
+  os << "intercept " << EncodeDouble(intercept) << "\n";
+  os << "num_features " << feature_names.size() << "\n";
+  for (const auto& name : feature_names) os << "feature " << name << "\n";
+  os << "weights " << EncodeDoubleVector(weights) << "\n";
+  os << "means " << EncodeDoubleVector(means) << "\n";
+  return os.str();
+}
+
+struct GeneralizedLinearFields {
+  double intercept = 0.0;
+  std::vector<std::string> feature_names;
+  std::vector<double> weights;
+  std::vector<double> means;
+};
+
+Result<GeneralizedLinearFields> ParseGeneralizedLinear(
+    const char* expected_header, const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  auto next_line = [&]() -> Result<std::string> {
+    if (!std::getline(is, line)) {
+      return Status::InvalidArgument("model text truncated");
+    }
+    return line;
+  };
+  MYSAWH_ASSIGN_OR_RETURN(std::string header, next_line());
+  if (header != expected_header) {
+    return Status::InvalidArgument("bad model header: " + header);
+  }
+  GeneralizedLinearFields fields;
+  MYSAWH_ASSIGN_OR_RETURN(std::string intercept_line, next_line());
+  {
+    const auto parts = Split(intercept_line, ' ');
+    if (parts.size() != 2 || parts[0] != "intercept") {
+      return Status::InvalidArgument("bad intercept line");
+    }
+    MYSAWH_ASSIGN_OR_RETURN(fields.intercept, DecodeDouble(parts[1]));
+  }
+  MYSAWH_ASSIGN_OR_RETURN(std::string nf_line, next_line());
+  int64_t num_features = 0;
+  {
+    const auto parts = Split(nf_line, ' ');
+    if (parts.size() != 2 || parts[0] != "num_features") {
+      return Status::InvalidArgument("bad num_features line");
+    }
+    MYSAWH_ASSIGN_OR_RETURN(num_features, ParseInt64(parts[1]));
+    if (num_features < 0) {
+      return Status::InvalidArgument("negative num_features");
+    }
+  }
+  for (int64_t i = 0; i < num_features; ++i) {
+    MYSAWH_ASSIGN_OR_RETURN(std::string fline, next_line());
+    if (!StartsWith(fline, "feature ")) {
+      return Status::InvalidArgument("bad feature line: " + fline);
+    }
+    fields.feature_names.push_back(fline.substr(8));
+  }
+  MYSAWH_ASSIGN_OR_RETURN(std::string w_line, next_line());
+  if (!StartsWith(w_line, "weights")) {
+    return Status::InvalidArgument("bad weights line: " + w_line);
+  }
+  MYSAWH_ASSIGN_OR_RETURN(
+      fields.weights,
+      DecodeDoubleVector(Trim(w_line.substr(7)), num_features));
+  MYSAWH_ASSIGN_OR_RETURN(std::string m_line, next_line());
+  if (!StartsWith(m_line, "means")) {
+    return Status::InvalidArgument("bad means line: " + m_line);
+  }
+  MYSAWH_ASSIGN_OR_RETURN(
+      fields.means, DecodeDoubleVector(Trim(m_line.substr(5)), num_features));
+  return fields;
+}
 
 /// Column means over present values (0 when a column is entirely missing).
 std::vector<double> ComputeFeatureMeans(const Dataset& data) {
@@ -108,6 +192,22 @@ Result<std::vector<double>> LinearModel::Predict(const Dataset& data) const {
   return out;
 }
 
+std::string LinearModel::Serialize() const {
+  return SerializeGeneralizedLinear("mysawh-linear v1", intercept_,
+                                    feature_names_, weights_, feature_means_);
+}
+
+Result<LinearModel> LinearModel::Deserialize(const std::string& text) {
+  MYSAWH_ASSIGN_OR_RETURN(GeneralizedLinearFields fields,
+                          ParseGeneralizedLinear("mysawh-linear v1", text));
+  LinearModel model;
+  model.intercept_ = fields.intercept;
+  model.feature_names_ = std::move(fields.feature_names);
+  model.weights_ = std::move(fields.weights);
+  model.feature_means_ = std::move(fields.means);
+  return model;
+}
+
 Result<LogisticModel> LogisticModel::Train(const Dataset& train, double lambda,
                                            int max_iters, double tol) {
   if (train.num_rows() == 0) {
@@ -191,6 +291,22 @@ Result<std::vector<double>> LogisticModel::Predict(const Dataset& data) const {
     out[static_cast<size_t>(r)] = PredictRow(data.row(r));
   }
   return out;
+}
+
+std::string LogisticModel::Serialize() const {
+  return SerializeGeneralizedLinear("mysawh-logistic v1", intercept_,
+                                    feature_names_, weights_, feature_means_);
+}
+
+Result<LogisticModel> LogisticModel::Deserialize(const std::string& text) {
+  MYSAWH_ASSIGN_OR_RETURN(GeneralizedLinearFields fields,
+                          ParseGeneralizedLinear("mysawh-logistic v1", text));
+  LogisticModel model;
+  model.intercept_ = fields.intercept;
+  model.feature_names_ = std::move(fields.feature_names);
+  model.weights_ = std::move(fields.weights);
+  model.feature_means_ = std::move(fields.means);
+  return model;
 }
 
 }  // namespace mysawh::linear

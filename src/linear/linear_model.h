@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "model/model.h"
 #include "util/status.h"
 
 namespace mysawh::linear {
@@ -12,7 +13,10 @@ namespace mysawh::linear {
 /// Ridge-regularized linear regression solved by normal equations. Missing
 /// feature values are mean-imputed with means learned from the training set
 /// (linear models, unlike the GBT, cannot route NaNs).
-class LinearModel {
+///
+/// Implements the polymorphic `model::Model` interface, registered in the
+/// serialization registry under kind "linear".
+class LinearModel : public model::Model {
  public:
   LinearModel() = default;
 
@@ -24,6 +28,19 @@ class LinearModel {
   double PredictRow(const double* row) const;
   /// Batch prediction.
   Result<std::vector<double>> Predict(const Dataset& data) const;
+
+  // model::Model interface.
+  std::string Kind() const override { return "linear"; }
+  bool IsClassifier() const override { return false; }
+  int64_t NumFeatures() const override { return num_features(); }
+  const std::vector<std::string>& FeatureNames() const override {
+    return feature_names_;
+  }
+  double Predict(const double* row) const override { return PredictRow(row); }
+  std::string Serialize() const override;
+
+  /// Parses a payload produced by Serialize().
+  static Result<LinearModel> Deserialize(const std::string& text);
 
   const std::vector<double>& weights() const { return weights_; }
   double intercept() const { return intercept_; }
@@ -43,7 +60,9 @@ class LinearModel {
 
 /// L2-regularized logistic regression fit by iteratively reweighted least
 /// squares (Newton). Outputs P(y = 1). Labels must be in {0, 1}.
-class LogisticModel {
+///
+/// Registered in the serialization registry under kind "logistic".
+class LogisticModel : public model::Model {
  public:
   LogisticModel() = default;
 
@@ -56,6 +75,19 @@ class LogisticModel {
   double PredictRow(const double* row) const;
   /// Batch probabilities.
   Result<std::vector<double>> Predict(const Dataset& data) const;
+
+  // model::Model interface.
+  std::string Kind() const override { return "logistic"; }
+  bool IsClassifier() const override { return true; }
+  int64_t NumFeatures() const override { return num_features(); }
+  const std::vector<std::string>& FeatureNames() const override {
+    return feature_names_;
+  }
+  double Predict(const double* row) const override { return PredictRow(row); }
+  std::string Serialize() const override;
+
+  /// Parses a payload produced by Serialize().
+  static Result<LogisticModel> Deserialize(const std::string& text);
 
   const std::vector<double>& weights() const { return weights_; }
   double intercept() const { return intercept_; }

@@ -1,0 +1,37 @@
+/// Registration of the built-in model families. Lives in its own
+/// translation unit, referenced from model.cc, so linking the model layer
+/// always pulls in every family factory — no reliance on static-initializer
+/// order or on the linker keeping unreferenced objects of a static library.
+
+#include <mutex>
+
+#include "gam/gam_model.h"
+#include "gbt/gbt_model.h"
+#include "linear/linear_model.h"
+#include "model/model.h"
+
+namespace mysawh::model {
+
+namespace {
+
+template <typename Family>
+ModelFactory MakeFactory() {
+  return [](const std::string& payload) -> Result<std::unique_ptr<Model>> {
+    MYSAWH_ASSIGN_OR_RETURN(Family parsed, Family::Deserialize(payload));
+    return std::unique_ptr<Model>(new Family(std::move(parsed)));
+  };
+}
+
+}  // namespace
+
+void EnsureBuiltinFamiliesRegistered() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    RegisterModelFactory("gbt", MakeFactory<gbt::GbtModel>());
+    RegisterModelFactory("linear", MakeFactory<linear::LinearModel>());
+    RegisterModelFactory("logistic", MakeFactory<linear::LogisticModel>());
+    RegisterModelFactory("gam", MakeFactory<gam::GamModel>());
+  });
+}
+
+}  // namespace mysawh::model

@@ -1,0 +1,56 @@
+#include "util/serialization.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace mysawh {
+
+std::string EncodeDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  std::ostringstream os;
+  os << std::hex << bits;
+  return os.str();
+}
+
+Result<double> DecodeDouble(const std::string& s) {
+  uint64_t bits = 0;
+  std::istringstream is(s);
+  is >> std::hex >> bits;
+  if (is.fail() || !is.eof()) {
+    return Status::InvalidArgument("bad double encoding: " + s);
+  }
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string EncodeDoubleVector(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(EncodeDouble(v));
+  return Join(fields, " ");
+}
+
+Result<std::vector<double>> DecodeDoubleVector(const std::string& s,
+                                               int64_t expected_count) {
+  std::vector<double> out;
+  if (!s.empty()) {
+    for (const std::string& field : Split(s, ' ')) {
+      MYSAWH_ASSIGN_OR_RETURN(double v, DecodeDouble(field));
+      out.push_back(v);
+    }
+  }
+  if (expected_count >= 0 &&
+      static_cast<int64_t>(out.size()) != expected_count) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(expected_count) + " encoded doubles, got " +
+        std::to_string(out.size()));
+  }
+  return out;
+}
+
+}  // namespace mysawh

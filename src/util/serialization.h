@@ -1,0 +1,28 @@
+#ifndef MYSAWH_UTIL_SERIALIZATION_H_
+#define MYSAWH_UTIL_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mysawh {
+
+/// Hex encoding of a double's bits: exact round-trip, locale-independent.
+/// Shared by every model family's text serialization format.
+std::string EncodeDouble(double v);
+
+/// Inverse of EncodeDouble; fails on malformed input.
+Result<double> DecodeDouble(const std::string& s);
+
+/// Encodes a vector as space-separated EncodeDouble fields.
+std::string EncodeDoubleVector(const std::vector<double>& values);
+
+/// Decodes a space-separated EncodeDouble list; fails when the field count
+/// differs from `expected_count` (pass -1 to accept any length).
+Result<std::vector<double>> DecodeDoubleVector(const std::string& s,
+                                               int64_t expected_count = -1);
+
+}  // namespace mysawh
+
+#endif  // MYSAWH_UTIL_SERIALIZATION_H_

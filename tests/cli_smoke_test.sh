@@ -1,15 +1,40 @@
 #!/bin/sh
 # End-to-end smoke test of mysawh_cli: generate -> train -> predict ->
 # evaluate -> explain -> importance, verifying outputs exist and the
-# pipeline round-trips through CSV and the model file.
+# pipeline round-trips through CSV and the model file — for every model
+# family — plus the documented exit-code contract (0 ok / 1 runtime
+# failure / 2 usage error).
 set -e
 CLI="$1"
 WORKDIR=$(mktemp -d)
 trap 'rm -rf "$WORKDIR"' EXIT
 cd "$WORKDIR"
 
-"$CLI" help > /dev/null
+# Captures the exit code of a command without tripping `set -e`.
+code_of() {
+  code=0
+  "$@" > /dev/null 2>&1 || code=$?
+}
 
+# --- exit-code contract ---------------------------------------------------
+code_of "$CLI" help
+test "$code" -eq 0 || { echo "help must exit 0, got $code" >&2; exit 1; }
+
+code_of "$CLI"
+test "$code" -eq 2 || { echo "no command must exit 2, got $code" >&2; exit 1; }
+
+code_of "$CLI" bogus
+test "$code" -eq 2 || { echo "unknown command must exit 2, got $code" >&2; exit 1; }
+
+# Malformed flags (repeated) are a usage error.
+code_of "$CLI" train --seed 1 --seed 2
+test "$code" -eq 2 || { echo "bad flags must exit 2, got $code" >&2; exit 1; }
+
+# A well-formed command that fails at runtime exits 1.
+code_of "$CLI" predict --model does_not_exist.model --data nope.csv
+test "$code" -eq 1 || { echo "runtime failure must exit 1, got $code" >&2; exit 1; }
+
+# --- GBT pipeline ---------------------------------------------------------
 "$CLI" generate --outcome SPPB --seed 7 --out-prefix smoke_ | grep -q "retained"
 test -f smoke_dd_fi.csv
 test -f smoke_kd.csv
@@ -17,6 +42,7 @@ test -f smoke_kd.csv
 "$CLI" train --data smoke_dd_fi.csv --num-trees 25 --out smoke.model \
   | grep -q "trained 25 trees"
 test -f smoke.model
+grep -q "^kind: gbt$" smoke.model
 
 "$CLI" predict --model smoke.model --data smoke_dd_fi.csv --out preds.csv
 test -f preds.csv
@@ -29,9 +55,22 @@ test "$rows" -gt 1000
   | grep -q "prediction="
 "$CLI" importance --model smoke.model --type gain | grep -q "fi_baseline"
 
-# Unknown command fails with usage.
-if "$CLI" bogus 2> /dev/null; then
-  echo "expected failure for unknown command" >&2
-  exit 1
-fi
+# --- linear and GAM families through the same registry --------------------
+"$CLI" train --data smoke_dd_fi.csv --model_family linear --out smoke_linear.model \
+  | grep -q "trained a linear model"
+grep -q "^kind: linear$" smoke_linear.model
+"$CLI" predict --model smoke_linear.model --data smoke_dd_fi.csv --out preds_linear.csv
+test "$(wc -l < preds_linear.csv)" -eq "$rows"
+"$CLI" evaluate --model smoke_linear.model --data smoke_dd_fi.csv | grep -q "1-MAPE"
+
+"$CLI" train --data smoke_dd_fi.csv --model_family gam --num-cycles 5 \
+  --out smoke_gam.model | grep -q "shape-function trees"
+grep -q "^kind: gam$" smoke_gam.model
+"$CLI" predict --model smoke_gam.model --data smoke_dd_fi.csv --out preds_gam.csv
+test "$(wc -l < preds_gam.csv)" -eq "$rows"
+
+# SHAP explanations stay tree-only: a clean failure, not a crash.
+code_of "$CLI" explain --model smoke_linear.model --data smoke_dd_fi.csv
+test "$code" -eq 1 || { echo "explain on linear must exit 1, got $code" >&2; exit 1; }
+
 echo "cli smoke test passed"

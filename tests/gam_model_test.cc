@@ -180,5 +180,34 @@ TEST(GamModelTest, PredictChecksWidth) {
   EXPECT_FALSE(model.Predict(wrong).ok());
 }
 
+TEST(GamModelTest, SerializationRoundTripsExactly) {
+  const Dataset train = MakeAdditiveData(500, 17);
+  const Dataset test = MakeAdditiveData(60, 18);
+  GamParams params;
+  params.num_cycles = 12;
+  const GamModel model = GamModel::Train(train, params).value();
+  const GamModel loaded = GamModel::Deserialize(model.Serialize()).value();
+  EXPECT_EQ(loaded.feature_names(), model.feature_names());
+  EXPECT_EQ(loaded.objective_type(), model.objective_type());
+  EXPECT_EQ(loaded.num_trees(), model.num_trees());
+  EXPECT_EQ(loaded.expected_value(), model.expected_value());
+  for (int64_t r = 0; r < test.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(loaded.PredictRow(test.row(r)),
+                     model.PredictRow(test.row(r)));
+  }
+  // The Shapley baselines (mean contributions) must survive the trip.
+  const auto phi = model.ShapValues(test.row(0)).value();
+  const auto phi_loaded = loaded.ShapValues(test.row(0)).value();
+  ASSERT_EQ(phi.size(), phi_loaded.size());
+  for (size_t f = 0; f < phi.size(); ++f) {
+    EXPECT_DOUBLE_EQ(phi[f], phi_loaded[f]);
+  }
+}
+
+TEST(GamModelTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(GamModel::Deserialize("not a model").ok());
+  EXPECT_FALSE(GamModel::Deserialize("mysawh-gam v1\njunk").ok());
+}
+
 }  // namespace
 }  // namespace mysawh::gam

@@ -171,8 +171,9 @@ TEST(GbtModelTest, SaveLoadFile) {
   const GbtModel model = GbtModel::Train(train, params).value();
   const std::string path = ::testing::TempDir() + "/gbt_model_test.txt";
   ASSERT_TRUE(model.SaveToFile(path).ok());
-  const GbtModel loaded = GbtModel::LoadFromFile(path).value();
-  EXPECT_EQ(loaded.Serialize(), model.Serialize());
+  const auto loaded = mysawh::model::Model::LoadFromFile(path).value();
+  EXPECT_EQ(loaded->Kind(), "gbt");
+  EXPECT_EQ(loaded->Serialize(), model.Serialize());
   std::remove(path.c_str());
 }
 

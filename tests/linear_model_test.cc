@@ -143,5 +143,50 @@ TEST(LogisticModelTest, RejectsBadHyperparameters) {
   EXPECT_FALSE(LogisticModel::Train(train, 1.0, 0).ok());
 }
 
+TEST(LinearModelTest, SerializationRoundTripsExactly) {
+  Rng rng(21);
+  Dataset train = Dataset::Create({"a", "b", "c"});
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.Uniform(-1, 1);
+    const double b = rng.Uniform(-1, 1);
+    const double c = i % 7 == 0 ? kNaN : rng.Uniform(-1, 1);
+    ASSERT_TRUE(
+        train.AddRow({a, b, c}, 2.0 * a - b + rng.Normal(0, 0.01)).ok());
+  }
+  const LinearModel model = LinearModel::Train(train, 0.5).value();
+  const LinearModel loaded = LinearModel::Deserialize(model.Serialize()).value();
+  EXPECT_EQ(loaded.feature_names(), model.feature_names());
+  EXPECT_EQ(loaded.weights(), model.weights());
+  EXPECT_EQ(loaded.intercept(), model.intercept());
+  // Imputation means must survive too: probe with a missing value.
+  const double probe[] = {0.3, -0.8, kNaN};
+  EXPECT_DOUBLE_EQ(loaded.PredictRow(probe), model.PredictRow(probe));
+}
+
+TEST(LinearModelTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(LinearModel::Deserialize("not a model").ok());
+  EXPECT_FALSE(LinearModel::Deserialize("mysawh-linear v1\njunk").ok());
+}
+
+TEST(LogisticModelTest, SerializationRoundTripsExactly) {
+  Rng rng(22);
+  Dataset train = Dataset::Create({"x", "z"});
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.Uniform(-2, 2);
+    const double z = rng.Uniform(-1, 1);
+    const double p = 1.0 / (1.0 + std::exp(-(1.2 * x - 0.4 * z)));
+    ASSERT_TRUE(train.AddRow({x, z}, rng.Bernoulli(p) ? 1.0 : 0.0).ok());
+  }
+  const LogisticModel model = LogisticModel::Train(train, 0.1).value();
+  const LogisticModel loaded =
+      LogisticModel::Deserialize(model.Serialize()).value();
+  EXPECT_EQ(loaded.weights(), model.weights());
+  EXPECT_EQ(loaded.intercept(), model.intercept());
+  const double probe[] = {0.7, kNaN};
+  EXPECT_DOUBLE_EQ(loaded.PredictRow(probe), model.PredictRow(probe));
+  // A logistic payload must not parse as a plain linear model.
+  EXPECT_FALSE(LinearModel::Deserialize(model.Serialize()).ok());
+}
+
 }  // namespace
 }  // namespace mysawh::linear

@@ -13,6 +13,7 @@
 #include "core/sample_builder.h"
 #include "explain/explanation.h"
 #include "explain/tree_shap.h"
+#include "model/model.h"
 
 namespace mysawh {
 namespace {
@@ -81,15 +82,16 @@ TEST(PipelineIntegrationTest, DataDrivenOutperformsKnowledgeDriven) {
 
 TEST(PipelineIntegrationTest, ShapExplainsRealPredictionsConsistently) {
   const auto& fixture = GetPipeline();
-  const explain::TreeShap shap(&fixture.dd_result.model);
+  const gbt::GbtModel* gbt = fixture.dd_result.gbt_model();
+  ASSERT_NE(gbt, nullptr);
+  const explain::TreeShap shap(gbt);
   const Dataset& test = fixture.dd_result.test;
   const int64_t probe = std::min<int64_t>(test.num_rows(), 25);
   for (int64_t r = 0; r < probe; ++r) {
     const auto phi = shap.Shap(test.row(r));
     const double total =
         std::accumulate(phi.begin(), phi.end(), shap.expected_value());
-    EXPECT_NEAR(total, fixture.dd_result.model.PredictRowRaw(test.row(r)),
-                1e-6);
+    EXPECT_NEAR(total, gbt->PredictRowRaw(test.row(r)), 1e-6);
   }
 }
 
@@ -97,7 +99,7 @@ TEST(PipelineIntegrationTest, ExplanationsDifferAcrossPatients) {
   // Fig 6's point: two patients can share a prediction while their top
   // contributing features differ. Verify rankings are not all identical.
   const auto& fixture = GetPipeline();
-  const explain::TreeShap shap(&fixture.dd_result.model);
+  const explain::TreeShap shap(fixture.dd_result.gbt_model());
   const Dataset& test = fixture.dd_result.test;
   ASSERT_GE(test.num_rows(), 10);
   std::string first_top;
@@ -116,11 +118,11 @@ TEST(PipelineIntegrationTest, ExplanationsDifferAcrossPatients) {
 
 TEST(PipelineIntegrationTest, GlobalImportanceIsFiniteAndOrdered) {
   const auto& fixture = GetPipeline();
-  const explain::TreeShap shap(&fixture.dd_result.model);
+  const explain::TreeShap shap(fixture.dd_result.gbt_model());
   const auto importance =
       explain::ComputeGlobalImportance(shap, fixture.dd_result.test).value();
   ASSERT_EQ(importance.features.size(),
-            static_cast<size_t>(fixture.dd_result.model.num_features()));
+            static_cast<size_t>(fixture.dd_result.model->NumFeatures()));
   for (size_t i = 0; i < importance.mean_abs_shap.size(); ++i) {
     EXPECT_TRUE(std::isfinite(importance.mean_abs_shap[i]));
     if (i > 0) {
@@ -131,12 +133,15 @@ TEST(PipelineIntegrationTest, GlobalImportanceIsFiniteAndOrdered) {
 
 TEST(PipelineIntegrationTest, ModelSerializationSurvivesPipeline) {
   const auto& fixture = GetPipeline();
-  const auto text = fixture.dd_result.model.Serialize();
-  const auto loaded = gbt::GbtModel::Deserialize(text).value();
+  // Round-trip through the registry: the serialized text carries a kind
+  // header, so the base-layer Deserialize rebuilds the right family.
+  const auto text = fixture.dd_result.model->SerializeWithKind();
+  const auto loaded = model::Model::Deserialize(text).value();
+  EXPECT_EQ(loaded->Kind(), "gbt");
   const Dataset& test = fixture.dd_result.test;
   for (int64_t r = 0; r < std::min<int64_t>(test.num_rows(), 20); ++r) {
-    EXPECT_DOUBLE_EQ(loaded.PredictRow(test.row(r)),
-                     fixture.dd_result.model.PredictRow(test.row(r)));
+    EXPECT_DOUBLE_EQ(loaded->Predict(test.row(r)),
+                     fixture.dd_result.model->Predict(test.row(r)));
   }
 }
 

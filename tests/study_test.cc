@@ -61,6 +61,25 @@ TEST(StudyTest, MarkdownReportContainsTables) {
   EXPECT_NE(report.find("DD w/ FI"), std::string::npos);
 }
 
+TEST(StudyTest, ResultsIndependentOfThreadCount) {
+  // GetStudy ran with the default pool (hardware threads). A sequential
+  // rerun of the same configuration must produce identical metrics: every
+  // cell derives its randomness from the protocol seed alone.
+  StudyConfig config;
+  config.cohort.seed = 31;
+  config.cohort.clinics = {{"A", 30, 0.0, 1.0}, {"B", 15, 0.0, 1.4}};
+  config.protocol.cv_folds = 3;
+  config.num_threads = 1;
+  const StudyResult sequential = RunFullStudy(config).value();
+  EXPECT_EQ(sequential.ToMarkdown(), GetStudy().ToMarkdown());
+  for (const auto& [key, cell] : GetStudy().cells) {
+    const auto it = sequential.cells.find(key);
+    ASSERT_NE(it, sequential.cells.end());
+    EXPECT_EQ(cell.HeadlineMetric(), it->second.HeadlineMetric());
+    EXPECT_EQ(cell.model->Serialize(), it->second.model->Serialize());
+  }
+}
+
 TEST(StudyTest, MissingCellLookupFails) {
   StudyResult empty;
   EXPECT_FALSE(empty.Cell(Outcome::kQol, Approach::kDataDriven, true).ok());

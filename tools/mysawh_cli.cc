@@ -2,16 +2,17 @@
 ///
 /// Subcommands:
 ///   generate   Generate a synthetic cohort and export sample sets as CSV.
-///   train      Train a GBT model from a CSV file.
-///   predict    Batch prediction from a saved model.
+///   train      Train a model (GBT, linear, or GAM) from a CSV file.
+///   predict    Batch prediction from a saved model of any family.
 ///   evaluate   Regression or classification metrics on a labelled CSV.
-///   explain    TreeSHAP explanation of one row.
+///   explain    TreeSHAP explanation of one row (tree models only).
 ///   importance Gain / cover / split-count feature importance of a model.
 ///
 /// Run `mysawh_cli help` for flag documentation.
 
 #include <algorithm>
 #include <iostream>
+#include <memory>
 
 #include "cohort/simulator.h"
 #include "core/evaluation.h"
@@ -19,7 +20,10 @@
 #include "core/sample_builder.h"
 #include "explain/explanation.h"
 #include "explain/tree_shap.h"
+#include "gam/gam_model.h"
 #include "gbt/gbt_model.h"
+#include "linear/linear_model.h"
+#include "model/model.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -37,23 +41,36 @@ commands:
              aligned sample sets and writes <P><set>.csv for set in
              dd, dd_fi, kd, kd_fi.
 
-  train      --data FILE [--label label] [--exclude a,b,c]
+  train      --data FILE [--model_family gbt|linear|gam] [--label label]
+             [--exclude a,b,c]
              [--objective reg:squarederror|binary:logistic|reg:pseudohuber]
-             [--num-trees 300] [--max-depth 4] [--learning-rate 0.07]
-             [--subsample 1.0] [--colsample 1.0] [--seed 7]
              [--out model.txt]
-             Trains a gradient-boosted model on the CSV (all numeric
-             columns except the label and excluded ones are features).
+             gbt flags:    [--num-trees 300] [--max-depth 4]
+                           [--learning-rate 0.07] [--subsample 1.0]
+                           [--colsample 1.0] [--seed 7]
+             linear flags: [--lambda 1.0]  (binary:logistic objective
+                           trains logistic regression)
+             gam flags:    [--num-cycles 50] [--max-depth 2]
+                           [--learning-rate 0.1] [--lambda 1.0]
+             Trains a model on the CSV (all numeric columns except the
+             label and excluded ones are features). The model file starts
+             with a `kind:` header, so predict/evaluate/explain can load
+             any family without being told which one.
 
   predict    --model FILE --data FILE [--out preds.csv]
   evaluate   --model FILE --data FILE [--label label] [--threshold 0.5]
-  explain    --model FILE --data FILE [--row 0] [--top 5]
-  importance --model FILE [--type gain|cover|split]
+  explain    --model FILE --data FILE [--row 0] [--top 5]   (gbt only)
+  importance --model FILE [--type gain|cover|split]         (gbt only)
+
+exit codes:
+  0  success (including explicit `help`)
+  1  a command ran and failed (I/O error, bad data, ...)
+  2  usage error: no/unknown command or malformed flags
 )";
 
 /// Loads a CSV into a Dataset using the label/exclude conventions.
 Result<Dataset> LoadDataset(const FlagParser& flags,
-                            const gbt::GbtModel* model_for_schema) {
+                            const model::Model* model_for_schema) {
   const std::string path = flags.GetString("data");
   if (path.empty()) return Status::InvalidArgument("--data is required");
   MYSAWH_ASSIGN_OR_RETURN(Table table, Table::FromCsvFile(path));
@@ -64,7 +81,7 @@ Result<Dataset> LoadDataset(const FlagParser& flags,
   std::vector<std::string> features;
   if (model_for_schema != nullptr) {
     // Align the columns with the model's training schema.
-    features = model_for_schema->feature_names();
+    features = model_for_schema->FeatureNames();
   } else {
     for (const auto& name : table.ColumnNames()) {
       if (std::find(exclude.begin(), exclude.end(), name) != exclude.end()) {
@@ -83,10 +100,28 @@ Result<Dataset> LoadDataset(const FlagParser& flags,
   return Dataset::FromTable(table, features, label);
 }
 
-Result<gbt::GbtModel> LoadModel(const FlagParser& flags) {
+/// Loads any registered model family via the serialization registry.
+Result<std::unique_ptr<model::Model>> LoadModel(const FlagParser& flags) {
   const std::string path = flags.GetString("model");
   if (path.empty()) return Status::InvalidArgument("--model is required");
-  return gbt::GbtModel::LoadFromFile(path);
+  return model::Model::LoadFromFile(path);
+}
+
+/// The GBT inside a loaded model, or FailedPrecondition for other families.
+Result<const gbt::GbtModel*> AsGbt(const model::Model& model) {
+  const auto* gbt = dynamic_cast<const gbt::GbtModel*>(&model);
+  if (gbt == nullptr) {
+    return Status::FailedPrecondition(
+        "this command needs a tree model, got kind '" + model.Kind() + "'");
+  }
+  return gbt;
+}
+
+/// Value of --model_family (hyphen spelling accepted too).
+Result<core::ModelFamily> GetModelFamily(const FlagParser& flags) {
+  std::string name = flags.GetString("model_family");
+  if (name.empty()) name = flags.GetString("model-family", "gbt");
+  return core::ParseModelFamily(name);
 }
 
 Status RunGenerate(const FlagParser& flags) {
@@ -128,36 +163,84 @@ Status RunGenerate(const FlagParser& flags) {
 
 Status RunTrain(const FlagParser& flags) {
   MYSAWH_ASSIGN_OR_RETURN(Dataset data, LoadDataset(flags, nullptr));
-  gbt::GbtParams params;
+  MYSAWH_ASSIGN_OR_RETURN(core::ModelFamily family, GetModelFamily(flags));
   MYSAWH_ASSIGN_OR_RETURN(
-      params.objective,
+      gbt::ObjectiveType objective,
       gbt::ParseObjectiveType(
           flags.GetString("objective", "reg:squarederror")));
-  MYSAWH_ASSIGN_OR_RETURN(int64_t trees, flags.GetInt("num-trees", 300));
-  params.num_trees = static_cast<int>(trees);
-  MYSAWH_ASSIGN_OR_RETURN(int64_t depth, flags.GetInt("max-depth", 4));
-  params.max_depth = static_cast<int>(depth);
-  MYSAWH_ASSIGN_OR_RETURN(params.learning_rate,
-                          flags.GetDouble("learning-rate", 0.07));
-  MYSAWH_ASSIGN_OR_RETURN(params.subsample, flags.GetDouble("subsample", 1.0));
-  MYSAWH_ASSIGN_OR_RETURN(params.colsample_bytree,
-                          flags.GetDouble("colsample", 1.0));
-  MYSAWH_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 7));
-  params.seed = static_cast<uint64_t>(seed);
-  MYSAWH_ASSIGN_OR_RETURN(gbt::GbtModel model,
-                          gbt::GbtModel::Train(data, params));
   const std::string out = flags.GetString("out", "model.txt");
-  MYSAWH_RETURN_NOT_OK(model.SaveToFile(out));
-  std::cout << "trained " << model.trees().size() << " trees on "
-            << data.num_rows() << " rows x " << data.num_features()
-            << " features; model written to " << out << "\n";
+
+  std::unique_ptr<model::Model> model;
+  std::string trained;  // human summary of what was trained
+  switch (family) {
+    case core::ModelFamily::kGbt: {
+      gbt::GbtParams params;
+      params.objective = objective;
+      MYSAWH_ASSIGN_OR_RETURN(int64_t trees, flags.GetInt("num-trees", 300));
+      params.num_trees = static_cast<int>(trees);
+      MYSAWH_ASSIGN_OR_RETURN(int64_t depth, flags.GetInt("max-depth", 4));
+      params.max_depth = static_cast<int>(depth);
+      MYSAWH_ASSIGN_OR_RETURN(params.learning_rate,
+                              flags.GetDouble("learning-rate", 0.07));
+      MYSAWH_ASSIGN_OR_RETURN(params.subsample,
+                              flags.GetDouble("subsample", 1.0));
+      MYSAWH_ASSIGN_OR_RETURN(params.colsample_bytree,
+                              flags.GetDouble("colsample", 1.0));
+      MYSAWH_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 7));
+      params.seed = static_cast<uint64_t>(seed);
+      MYSAWH_ASSIGN_OR_RETURN(gbt::GbtModel gbt,
+                              gbt::GbtModel::Train(data, params));
+      trained = std::to_string(gbt.trees().size()) + " trees";
+      model = std::make_unique<gbt::GbtModel>(std::move(gbt));
+      break;
+    }
+    case core::ModelFamily::kLinear: {
+      MYSAWH_ASSIGN_OR_RETURN(double lambda, flags.GetDouble("lambda", 1.0));
+      if (objective == gbt::ObjectiveType::kLogistic) {
+        MYSAWH_ASSIGN_OR_RETURN(linear::LogisticModel logistic,
+                                linear::LogisticModel::Train(data, lambda));
+        trained = "a logistic model";
+        model = std::make_unique<linear::LogisticModel>(std::move(logistic));
+      } else {
+        MYSAWH_ASSIGN_OR_RETURN(linear::LinearModel lin,
+                                linear::LinearModel::Train(data, lambda));
+        trained = "a linear model";
+        model = std::make_unique<linear::LinearModel>(std::move(lin));
+      }
+      break;
+    }
+    case core::ModelFamily::kGam: {
+      gam::GamParams params;
+      params.objective = objective;
+      MYSAWH_ASSIGN_OR_RETURN(int64_t cycles, flags.GetInt("num-cycles", 50));
+      params.num_cycles = static_cast<int>(cycles);
+      MYSAWH_ASSIGN_OR_RETURN(int64_t depth, flags.GetInt("max-depth", 2));
+      params.max_depth = static_cast<int>(depth);
+      MYSAWH_ASSIGN_OR_RETURN(params.learning_rate,
+                              flags.GetDouble("learning-rate", 0.1));
+      MYSAWH_ASSIGN_OR_RETURN(params.reg_lambda,
+                              flags.GetDouble("lambda", 1.0));
+      MYSAWH_ASSIGN_OR_RETURN(gam::GamModel gam,
+                              gam::GamModel::Train(data, params));
+      trained = "a gam with " + std::to_string(gam.num_trees()) +
+                " shape-function trees";
+      model = std::make_unique<gam::GamModel>(std::move(gam));
+      break;
+    }
+  }
+  MYSAWH_RETURN_NOT_OK(model->SaveToFile(out));
+  std::cout << "trained " << trained << " on " << data.num_rows() << " rows x "
+            << data.num_features() << " features; model written to " << out
+            << "\n";
   return Status::Ok();
 }
 
 Status RunPredict(const FlagParser& flags) {
-  MYSAWH_ASSIGN_OR_RETURN(gbt::GbtModel model, LoadModel(flags));
-  MYSAWH_ASSIGN_OR_RETURN(Dataset data, LoadDataset(flags, &model));
-  MYSAWH_ASSIGN_OR_RETURN(std::vector<double> preds, model.Predict(data));
+  MYSAWH_ASSIGN_OR_RETURN(std::unique_ptr<model::Model> model,
+                          LoadModel(flags));
+  MYSAWH_ASSIGN_OR_RETURN(Dataset data, LoadDataset(flags, model.get()));
+  MYSAWH_ASSIGN_OR_RETURN(std::vector<double> preds,
+                          model->PredictBatch(data));
   const std::string out = flags.GetString("out", "predictions.csv");
   CsvDocument csv;
   csv.header = {"row", "prediction"};
@@ -170,10 +253,12 @@ Status RunPredict(const FlagParser& flags) {
 }
 
 Status RunEvaluate(const FlagParser& flags) {
-  MYSAWH_ASSIGN_OR_RETURN(gbt::GbtModel model, LoadModel(flags));
-  MYSAWH_ASSIGN_OR_RETURN(Dataset data, LoadDataset(flags, &model));
-  MYSAWH_ASSIGN_OR_RETURN(std::vector<double> preds, model.Predict(data));
-  if (model.objective_type() == gbt::ObjectiveType::kLogistic) {
+  MYSAWH_ASSIGN_OR_RETURN(std::unique_ptr<model::Model> model,
+                          LoadModel(flags));
+  MYSAWH_ASSIGN_OR_RETURN(Dataset data, LoadDataset(flags, model.get()));
+  MYSAWH_ASSIGN_OR_RETURN(std::vector<double> preds,
+                          model->PredictBatch(data));
+  if (model->IsClassifier()) {
     MYSAWH_ASSIGN_OR_RETURN(double threshold,
                             flags.GetDouble("threshold", 0.5));
     MYSAWH_ASSIGN_OR_RETURN(
@@ -191,11 +276,13 @@ Status RunEvaluate(const FlagParser& flags) {
 }
 
 Status RunExplain(const FlagParser& flags) {
-  MYSAWH_ASSIGN_OR_RETURN(gbt::GbtModel model, LoadModel(flags));
-  MYSAWH_ASSIGN_OR_RETURN(Dataset data, LoadDataset(flags, &model));
+  MYSAWH_ASSIGN_OR_RETURN(std::unique_ptr<model::Model> model,
+                          LoadModel(flags));
+  MYSAWH_ASSIGN_OR_RETURN(const gbt::GbtModel* gbt, AsGbt(*model));
+  MYSAWH_ASSIGN_OR_RETURN(Dataset data, LoadDataset(flags, model.get()));
   MYSAWH_ASSIGN_OR_RETURN(int64_t row, flags.GetInt("row", 0));
   MYSAWH_ASSIGN_OR_RETURN(int64_t top, flags.GetInt("top", 5));
-  const explain::TreeShap shap(&model);
+  const explain::TreeShap shap(gbt);
   MYSAWH_ASSIGN_OR_RETURN(auto explanation,
                           explain::ExplainRow(shap, data, row));
   std::cout << explanation.ToString(static_cast<int>(top));
@@ -203,15 +290,17 @@ Status RunExplain(const FlagParser& flags) {
 }
 
 Status RunImportance(const FlagParser& flags) {
-  MYSAWH_ASSIGN_OR_RETURN(gbt::GbtModel model, LoadModel(flags));
+  MYSAWH_ASSIGN_OR_RETURN(std::unique_ptr<model::Model> model,
+                          LoadModel(flags));
+  MYSAWH_ASSIGN_OR_RETURN(const gbt::GbtModel* gbt, AsGbt(*model));
   const std::string type = flags.GetString("type", "gain");
   std::map<std::string, double> scores;
   if (type == "gain") {
-    scores = model.GainImportance();
+    scores = gbt->GainImportance();
   } else if (type == "cover") {
-    scores = model.CoverImportance();
+    scores = gbt->CoverImportance();
   } else if (type == "split") {
-    for (const auto& [name, count] : model.SplitCountImportance()) {
+    for (const auto& [name, count] : gbt->SplitCountImportance()) {
       scores[name] = static_cast<double>(count);
     }
   } else {
