@@ -175,10 +175,6 @@ examples/CMakeFiles/full_study.dir/full_study.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/series/time_series.h /root/repo/src/core/evaluation.h \
- /root/repo/src/core/metrics.h /root/repo/src/core/outcomes.h \
- /root/repo/src/data/dataset.h /root/repo/src/data/table.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/gbt/gbt_model.h /root/repo/src/gbt/objective.h \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -216,7 +212,20 @@ examples/CMakeFiles/full_study.dir/full_study.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/gbt/params.h \
- /usr/include/c++/12/limits /root/repo/src/gbt/tree.h \
- /root/repo/src/core/sample_builder.h /root/repo/src/core/ici.h \
- /root/repo/src/series/interpolation.h
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/metrics.h \
+ /root/repo/src/core/outcomes.h /root/repo/src/data/dataset.h \
+ /root/repo/src/data/table.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/gam/gam_model.h \
+ /root/repo/src/gbt/objective.h /root/repo/src/gbt/tree.h \
+ /root/repo/src/model/model.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/gbt/gbt_model.h /root/repo/src/gbt/params.h \
+ /usr/include/c++/12/limits /root/repo/src/core/sample_builder.h \
+ /root/repo/src/core/ici.h /root/repo/src/series/interpolation.h

@@ -32,6 +32,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/gbt/tree.cc" "src/CMakeFiles/mysawh.dir/gbt/tree.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/gbt/tree.cc.o.d"
   "/root/repo/src/linear/dense_solver.cc" "src/CMakeFiles/mysawh.dir/linear/dense_solver.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/linear/dense_solver.cc.o.d"
   "/root/repo/src/linear/linear_model.cc" "src/CMakeFiles/mysawh.dir/linear/linear_model.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/linear/linear_model.cc.o.d"
+  "/root/repo/src/model/model.cc" "src/CMakeFiles/mysawh.dir/model/model.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/model/model.cc.o.d"
+  "/root/repo/src/model/registry.cc" "src/CMakeFiles/mysawh.dir/model/registry.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/model/registry.cc.o.d"
   "/root/repo/src/series/aggregation.cc" "src/CMakeFiles/mysawh.dir/series/aggregation.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/series/aggregation.cc.o.d"
   "/root/repo/src/series/interpolation.cc" "src/CMakeFiles/mysawh.dir/series/interpolation.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/series/interpolation.cc.o.d"
   "/root/repo/src/series/time_series.cc" "src/CMakeFiles/mysawh.dir/series/time_series.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/series/time_series.cc.o.d"
@@ -39,6 +41,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/flags.cc" "src/CMakeFiles/mysawh.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/flags.cc.o.d"
   "/root/repo/src/util/logging.cc" "src/CMakeFiles/mysawh.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/logging.cc.o.d"
   "/root/repo/src/util/rng.cc" "src/CMakeFiles/mysawh.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/serialization.cc" "src/CMakeFiles/mysawh.dir/util/serialization.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/serialization.cc.o.d"
   "/root/repo/src/util/stats.cc" "src/CMakeFiles/mysawh.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/stats.cc.o.d"
   "/root/repo/src/util/status.cc" "src/CMakeFiles/mysawh.dir/util/status.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/status.cc.o.d"
   "/root/repo/src/util/string_util.cc" "src/CMakeFiles/mysawh.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/mysawh.dir/util/string_util.cc.o.d"

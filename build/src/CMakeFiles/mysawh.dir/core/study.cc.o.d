@@ -139,10 +139,6 @@ src/CMakeFiles/mysawh.dir/core/study.cc.o: /root/repo/src/core/study.cc \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/series/time_series.h /root/repo/src/core/evaluation.h \
- /root/repo/src/core/metrics.h /root/repo/src/core/outcomes.h \
- /root/repo/src/data/dataset.h /root/repo/src/data/table.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/gbt/gbt_model.h /root/repo/src/gbt/objective.h \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -212,10 +208,38 @@ src/CMakeFiles/mysawh.dir/core/study.cc.o: /root/repo/src/core/study.cc \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/gbt/params.h \
- /usr/include/c++/12/limits /root/repo/src/gbt/tree.h \
- /root/repo/src/core/sample_builder.h /root/repo/src/core/ici.h \
- /root/repo/src/series/interpolation.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/cohort/simulator.h \
- /root/repo/src/util/rng.h /root/repo/src/util/string_util.h
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/metrics.h \
+ /root/repo/src/core/outcomes.h /root/repo/src/data/dataset.h \
+ /root/repo/src/data/table.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/gam/gam_model.h \
+ /root/repo/src/gbt/objective.h /root/repo/src/gbt/tree.h \
+ /root/repo/src/model/model.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/gbt/gbt_model.h /root/repo/src/gbt/params.h \
+ /usr/include/c++/12/limits /root/repo/src/core/sample_builder.h \
+ /root/repo/src/core/ici.h /root/repo/src/series/interpolation.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/cohort/simulator.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/string_util.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h

@@ -198,4 +198,5 @@ src/CMakeFiles/mysawh.dir/gbt/tree.cc.o: /root/repo/src/gbt/tree.cc \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/string_util.h
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/serialization.h \
+ /root/repo/src/util/string_util.h

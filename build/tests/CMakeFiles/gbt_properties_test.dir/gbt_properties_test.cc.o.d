@@ -318,4 +318,4 @@ tests/CMakeFiles/gbt_properties_test.dir/gbt_properties_test.cc.o: \
  /root/repo/src/data/dataset.h /root/repo/src/data/table.h \
  /root/repo/src/util/status.h /root/repo/src/gbt/objective.h \
  /root/repo/src/gbt/params.h /root/repo/src/gbt/tree.h \
- /root/repo/src/util/rng.h
+ /root/repo/src/model/model.h /root/repo/src/util/rng.h

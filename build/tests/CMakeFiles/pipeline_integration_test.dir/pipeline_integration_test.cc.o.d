@@ -322,8 +322,9 @@ tests/CMakeFiles/pipeline_integration_test.dir/pipeline_integration_test.cc.o: \
  /root/repo/src/series/time_series.h /root/repo/src/util/rng.h \
  /root/repo/src/core/evaluation.h /root/repo/src/core/metrics.h \
  /root/repo/src/core/outcomes.h /root/repo/src/data/dataset.h \
- /root/repo/src/data/table.h /root/repo/src/gbt/gbt_model.h \
- /root/repo/src/gbt/objective.h /root/repo/src/gbt/params.h \
- /root/repo/src/gbt/tree.h /root/repo/src/core/sample_builder.h \
+ /root/repo/src/data/table.h /root/repo/src/gam/gam_model.h \
+ /root/repo/src/gbt/objective.h /root/repo/src/gbt/tree.h \
+ /root/repo/src/model/model.h /root/repo/src/gbt/gbt_model.h \
+ /root/repo/src/gbt/params.h /root/repo/src/core/sample_builder.h \
  /root/repo/src/core/ici.h /root/repo/src/series/interpolation.h \
  /root/repo/src/explain/explanation.h /root/repo/src/explain/tree_shap.h

@@ -321,4 +321,4 @@ tests/CMakeFiles/shap_interactions_test.dir/shap_interactions_test.cc.o: \
  /root/repo/src/data/table.h /root/repo/src/util/status.h \
  /root/repo/src/gbt/gbt_model.h /root/repo/src/gbt/objective.h \
  /root/repo/src/gbt/params.h /root/repo/src/gbt/tree.h \
- /root/repo/src/util/rng.h
+ /root/repo/src/model/model.h /root/repo/src/util/rng.h
