@@ -8,15 +8,24 @@
 
 #include "bench/perf_json_main.h"
 #include "data/dataset.h"
+#include "gbt/binning.h"
 #include "gbt/gbt_model.h"
+#include "gbt/histogram.h"
 #include "util/rng.h"
 
 namespace {
 
 using mysawh::Dataset;
 using mysawh::Rng;
+using mysawh::gbt::BinnedData;
+using mysawh::gbt::BuildBinned;
 using mysawh::gbt::GbtModel;
 using mysawh::gbt::GbtParams;
+using mysawh::gbt::GradientPair;
+using mysawh::gbt::HistogramBuilder;
+using mysawh::gbt::HistogramLayout;
+using mysawh::gbt::NodeHistogram;
+using mysawh::gbt::TrainingLog;
 using mysawh::gbt::TreeMethod;
 
 Dataset MakeData(int64_t rows, int64_t features, uint64_t seed) {
@@ -52,11 +61,18 @@ GbtParams BenchParams(TreeMethod method) {
 void BM_TrainHist(benchmark::State& state) {
   const Dataset data = MakeData(state.range(0), state.range(1), 1);
   const GbtParams params = BenchParams(TreeMethod::kHist);
+  TrainingLog log;
   for (auto _ : state) {
-    auto model = GbtModel::Train(data, params);
+    auto model = GbtModel::Train(data, params, nullptr, &log);
     benchmark::DoNotOptimize(model);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  // Histogram pipeline counters of the last run: how many node histograms
+  // were accumulated from rows vs derived by sibling subtraction.
+  state.counters["nodes_direct"] =
+      static_cast<double>(log.hist_nodes_direct);
+  state.counters["nodes_subtracted"] =
+      static_cast<double>(log.hist_nodes_subtracted);
 }
 BENCHMARK(BM_TrainHist)
     ->Args({500, 16})
@@ -64,6 +80,35 @@ BENCHMARK(BM_TrainHist)
     ->Args({2000, 64})
     ->Args({8000, 64})
     ->Unit(benchmark::kMillisecond);
+
+/// The histogram accumulation pass in isolation: one root-node histogram
+/// over all rows and features (the single-pass row-major kernel plus the
+/// deterministic chunked reduction, without split finding on top).
+void BM_HistogramBuild(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0), state.range(1), 1);
+  const BinnedData binned = BuildBinned(data, 64, nullptr).value();
+  std::vector<int> features;
+  for (int64_t f = 0; f < data.num_features(); ++f) {
+    features.push_back(static_cast<int>(f));
+  }
+  const HistogramLayout layout(binned.bins, features);
+  const HistogramBuilder builder(binned.bins, binned.matrix, nullptr);
+  std::vector<int64_t> rows;
+  std::vector<GradientPair> gpairs;
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    rows.push_back(r);
+    gpairs.push_back({data.label(r), 1.0});
+  }
+  for (auto _ : state) {
+    NodeHistogram hist = builder.Build(layout, rows, gpairs);
+    benchmark::DoNotOptimize(hist);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HistogramBuild)
+    ->Args({2000, 64})
+    ->Args({8000, 64})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_TrainExact(benchmark::State& state) {
   const Dataset data = MakeData(state.range(0), state.range(1), 1);

@@ -21,7 +21,13 @@ inline int RunPerfBenchmarks(int argc, char** argv, const char* default_out) {
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+    // Match only --benchmark_out itself (bare or with a value), not flags
+    // that share the prefix such as --benchmark_out_format: a format-only
+    // invocation must still get the default JSON output file.
+    if (std::strcmp(argv[i], "--benchmark_out") == 0 ||
+        std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      has_out = true;
+    }
   }
   // Static storage: benchmark keeps pointers into argv past Initialize.
   static std::string out_flag;

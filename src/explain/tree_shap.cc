@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace mysawh::explain {
 
@@ -254,10 +255,13 @@ Result<std::vector<std::vector<double>>> TreeShap::ShapBatch(
   if (data.num_features() != model_->num_features()) {
     return Status::InvalidArgument("ShapBatch: dataset width mismatch");
   }
+  // Each row's attribution is an independent recursion with its own
+  // workspace writing its own output slot, so the shared pool changes
+  // nothing about the values — only the wall clock.
   std::vector<std::vector<double>> out(static_cast<size_t>(data.num_rows()));
-  for (int64_t r = 0; r < data.num_rows(); ++r) {
+  DefaultPool().ParallelFor(data.num_rows(), [&](int64_t r) {
     out[static_cast<size_t>(r)] = Shap(data.row(r));
-  }
+  });
   return out;
 }
 

@@ -28,7 +28,9 @@ class TreeShap {
   /// SHAP values for one row (num_features() doubles; NaN = missing).
   std::vector<double> Shap(const double* row) const;
 
-  /// SHAP values for every row of `data` (one inner vector per row).
+  /// SHAP values for every row of `data` (one inner vector per row). Rows
+  /// are explained in parallel on the shared `DefaultPool()`; the output is
+  /// identical to calling Shap() per row.
   Result<std::vector<std::vector<double>>> ShapBatch(
       const Dataset& data) const;
 

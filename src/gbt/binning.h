@@ -6,11 +6,19 @@
 
 #include "data/dataset.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace mysawh::gbt {
 
+class BinnedData;
+
 /// Sentinel bin index for a missing (NaN) feature value.
 inline constexpr uint16_t kMissingBin = 0xFFFF;
+
+/// Missing sentinel of the narrow (byte) bin storage, used when every
+/// feature has at most 254 bins so the whole quantized matrix fits one
+/// byte per cell.
+inline constexpr uint8_t kMissingBin8 = 0xFF;
 
 /// Per-feature quantile cut points for the histogram tree method.
 ///
@@ -42,26 +50,68 @@ class FeatureBins {
   uint16_t BinFor(int64_t feature, double value) const;
 
  private:
+  friend Result<BinnedData> BuildBinned(const Dataset& data, int max_bins,
+                                        ThreadPool* pool);
   std::vector<std::vector<double>> cuts_;
 };
 
-/// The whole training matrix quantized to bins, column-major for fast
-/// histogram accumulation.
+/// The whole training matrix quantized to bins, row-major so one pass over
+/// a node's rows touches each row's bins contiguously and can feed the
+/// histograms of every feature at once. When every feature has at most 254
+/// bins (max_bins <= 254, the common case) cells are stored as single
+/// bytes, halving the memory streamed by the histogram pass; otherwise a
+/// uint16 cell is used.
 class BinnedMatrix {
  public:
-  /// Quantizes `data` with the given `bins`.
+  /// Quantizes `data` with the given `bins` (wide storage).
   static BinnedMatrix Build(const Dataset& data, const FeatureBins& bins);
 
   int64_t num_rows() const { return num_rows_; }
-  /// Bin of (row, feature).
+  int64_t num_features() const { return num_features_; }
+  /// Whether cells are stored as bytes (see data8/data16).
+  bool narrow() const { return narrow_; }
+  /// Bin of (row, feature); missing is reported as kMissingBin for both
+  /// storage widths.
   uint16_t At(int64_t row, int64_t feature) const {
-    return bins_[static_cast<size_t>(feature * num_rows_ + row)];
+    const auto i = static_cast<size_t>(row * num_features_ + feature);
+    if (narrow_) {
+      const uint8_t b = bytes_[i];
+      return b == kMissingBin8 ? kMissingBin : b;
+    }
+    return bins_[i];
   }
+  /// Raw row-major cells; valid only for the matching narrow() state. The
+  /// histogram builder reads these directly in its hot loop.
+  const uint8_t* data8() const { return bytes_.data(); }
+  const uint16_t* data16() const { return bins_.data(); }
 
  private:
-  std::vector<uint16_t> bins_;  // column-major: feature * num_rows + row
+  friend Result<BinnedData> BuildBinned(const Dataset& data, int max_bins,
+                                        ThreadPool* pool);
+  std::vector<uint16_t> bins_;   // wide cells (row * num_features + feature)
+  std::vector<uint8_t> bytes_;   // narrow cells, same layout
+  bool narrow_ = false;
   int64_t num_rows_ = 0;
+  int64_t num_features_ = 0;
 };
+
+/// Cut points and quantized matrix produced together by BuildBinned.
+class BinnedData {
+ public:
+  FeatureBins bins;
+  BinnedMatrix matrix;
+};
+
+/// Builds the cut points and the quantized matrix in one fused pass: each
+/// feature is sorted once as (value, row) pairs, the cuts are derived from
+/// the distinct values of that ordering, and bins are assigned by walking
+/// the sorted pairs — no per-cell binary search. Produces exactly the same
+/// cuts and bins as FeatureBins::Build followed by BinnedMatrix::Build,
+/// several times faster. Features are processed in parallel on `pool` when
+/// given (each feature writes disjoint cells, so the result is identical
+/// for any thread count).
+Result<BinnedData> BuildBinned(const Dataset& data, int max_bins,
+                               ThreadPool* pool);
 
 }  // namespace mysawh::gbt
 

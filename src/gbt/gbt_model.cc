@@ -6,6 +6,7 @@
 #include "gbt/trainer.h"
 #include "util/serialization.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace mysawh::gbt {
 
@@ -32,17 +33,21 @@ Result<std::vector<double>> GbtModel::PredictRaw(const Dataset& data) const {
         "Predict: dataset width " + std::to_string(data.num_features()) +
         " != model width " + std::to_string(num_features()));
   }
+  // Rows are independent and write disjoint slots, so the shared pool keeps
+  // results bit-identical to the sequential loop.
   std::vector<double> out(static_cast<size_t>(data.num_rows()));
-  for (int64_t i = 0; i < data.num_rows(); ++i) {
+  DefaultPool().ParallelFor(data.num_rows(), [&](int64_t i) {
     out[static_cast<size_t>(i)] = PredictRowRaw(data.row(i));
-  }
+  });
   return out;
 }
 
 Result<std::vector<double>> GbtModel::Predict(const Dataset& data) const {
   MYSAWH_ASSIGN_OR_RETURN(std::vector<double> raw, PredictRaw(data));
   const auto objective = MakeObjective(objective_type_);
-  for (double& v : raw) v = objective->Transform(v);
+  DefaultPool().ParallelFor(static_cast<int64_t>(raw.size()), [&](int64_t i) {
+    raw[static_cast<size_t>(i)] = objective->Transform(raw[static_cast<size_t>(i)]);
+  });
   return raw;
 }
 
@@ -63,9 +68,9 @@ Result<std::vector<std::vector<double>>> GbtModel::PredictStaged(
     stages.push_back(std::move(stage));
   };
   for (size_t t = 0; t < trees_.size(); ++t) {
-    for (int64_t r = 0; r < data.num_rows(); ++r) {
+    DefaultPool().ParallelFor(data.num_rows(), [&](int64_t r) {
       raw[static_cast<size_t>(r)] += trees_[t].Predict(data.row(r));
-    }
+    });
     if ((t + 1) % static_cast<size_t>(stride) == 0 || t + 1 == trees_.size()) {
       snapshot();
     }

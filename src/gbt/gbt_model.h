@@ -23,6 +23,11 @@ struct TrainingLog {
   };
   std::vector<Round> rounds;
   std::string metric_name;
+  /// Hist-mode histogram pipeline counters: nodes whose histogram was
+  /// accumulated from rows vs derived as parent − sibling (the subtraction
+  /// trick). Zero in exact mode.
+  int64_t hist_nodes_direct = 0;
+  int64_t hist_nodes_subtracted = 0;
 };
 
 /// A trained gradient-boosted tree ensemble (XGBoost-style second-order

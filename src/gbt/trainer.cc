@@ -42,17 +42,22 @@ int Trainer::ConstraintOf(int feature) const {
   return params_.monotone_constraints[static_cast<size_t>(feature)];
 }
 
-void Trainer::ConsiderSplit(const NodeStats& parent, const NodeStats& miss,
-                            double sum_g_left, double sum_h_left,
-                            int64_t count_left, int feature, double threshold,
-                            int bin, const NodeBounds& bounds,
+void Trainer::ConsiderSplit(const NodeStats& parent, double parent_score,
+                            const NodeStats& miss, double sum_g_left,
+                            double sum_h_left, int64_t count_left, int feature,
+                            double threshold, int bin,
+                            const NodeBounds& bounds,
                             SplitCandidate* best) const {
-  const double parent_score = ScoreFn(parent.sum_g, parent.sum_h);
   // Present-value right side = parent - missing - left.
   const double sum_g_right = parent.sum_g - miss.sum_g - sum_g_left;
   const double sum_h_right = parent.sum_h - miss.sum_h - sum_h_left;
   const int64_t count_right = parent.count - miss.count - count_left;
+  // With no missing mass the two default directions score identically and
+  // the first (missing-left) wins the tie-break, so skip the second.
+  const bool no_miss =
+      miss.count == 0 && miss.sum_g == 0.0 && miss.sum_h == 0.0;
   for (const bool miss_left : {true, false}) {
+    if (!miss_left && no_miss) break;
     const double gl = sum_g_left + (miss_left ? miss.sum_g : 0.0);
     const double hl = sum_h_left + (miss_left ? miss.sum_h : 0.0);
     const int64_t cl = count_left + (miss_left ? miss.count : 0);
@@ -69,6 +74,10 @@ void Trainer::ConsiderSplit(const NodeStats& parent, const NodeStats& miss,
         0.5 * (ScoreFn(gl, hl) + ScoreFn(gr, hr) - parent_score) -
         params_.gamma;
     if (gain <= kMinSplitGain) continue;
+    // Fast reject: a strictly lower gain can never become `best` (ties can,
+    // through the tie-break below), so skip the leaf-weight divisions and
+    // constraint checks — this boundary scan is the hist hot loop.
+    if (best->valid && gain < best->gain) continue;
     // Monotone constraint: reject directions that violate the ordering or
     // leave the admissible weight interval.
     const double wl = LeafWeight(gl, hl);
@@ -127,6 +136,7 @@ Trainer::SplitCandidate Trainer::FindSplitExact(
   if (entries.size() < 2) return best;
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.value < b.value; });
+  const double parent_score = ScoreFn(parent.sum_g, parent.sum_h);
   double sum_g_left = 0.0, sum_h_left = 0.0;
   int64_t count_left = 0;
   for (size_t i = 0; i + 1 < entries.size(); ++i) {
@@ -135,45 +145,237 @@ Trainer::SplitCandidate Trainer::FindSplitExact(
     ++count_left;
     if (entries[i].value == entries[i + 1].value) continue;
     const double threshold = 0.5 * (entries[i].value + entries[i + 1].value);
-    ConsiderSplit(parent, miss, sum_g_left, sum_h_left, count_left, feature,
-                  threshold, /*bin=*/-1, bounds, &best);
+    ConsiderSplit(parent, parent_score, miss, sum_g_left, sum_h_left,
+                  count_left, feature, threshold, /*bin=*/-1, bounds, &best);
   }
   return best;
 }
 
 Trainer::SplitCandidate Trainer::FindSplitHist(
-    int feature, const std::vector<int64_t>& rows,
-    const std::vector<GradientPair>& gpairs, const NodeStats& parent,
-    const NodeBounds& bounds) const {
-  const int nb = bins_.num_bins(feature);
+    int feature_pos, const HistogramLayout& layout, const NodeHistogram& hist,
+    const NodeStats& parent, const NodeBounds& bounds) const {
+  const int feature = layout.features()[static_cast<size_t>(feature_pos)];
+  const int nb = layout.num_bins(feature_pos);
   SplitCandidate best;
   if (nb < 2) return best;
-  std::vector<double> sum_g(static_cast<size_t>(nb), 0.0);
-  std::vector<double> sum_h(static_cast<size_t>(nb), 0.0);
-  std::vector<int64_t> count(static_cast<size_t>(nb), 0);
-  NodeStats miss;
-  for (int64_t r : rows) {
-    const uint16_t b = binned_.At(r, feature);
-    const GradientPair& gp = gpairs[static_cast<size_t>(r)];
-    if (b == kMissingBin) {
-      miss.sum_g += gp.grad;
-      miss.sum_h += gp.hess;
-      ++miss.count;
-    } else {
-      sum_g[b] += gp.grad;
-      sum_h[b] += gp.hess;
-      ++count[b];
-    }
+  const HistEntry* slots = hist.feature_slots(layout, feature_pos);
+  const HistEntry& miss_entry = hist.miss(feature_pos);
+  const NodeStats miss{miss_entry.sum_g, miss_entry.sum_h, miss_entry.count};
+  const double parent_score = ScoreFn(parent.sum_g, parent.sum_h);
+  const int64_t present = parent.count - miss.count;
+  if (params_.monotone_constraints.empty()) {
+    return FindSplitHistFast(feature, nb, slots, miss, parent, parent_score,
+                             present);
   }
   double acc_g = 0.0, acc_h = 0.0;
   int64_t acc_c = 0;
   for (int b = 0; b + 1 < nb; ++b) {
-    acc_g += sum_g[static_cast<size_t>(b)];
-    acc_h += sum_h[static_cast<size_t>(b)];
-    acc_c += count[static_cast<size_t>(b)];
-    if (count[static_cast<size_t>(b)] == 0) continue;  // no boundary change
-    ConsiderSplit(parent, miss, acc_g, acc_h, acc_c, feature,
+    acc_g += slots[b].sum_g;
+    acc_h += slots[b].sum_h;
+    acc_c += slots[b].count;
+    if (slots[b].count == 0) continue;  // no boundary change
+    ConsiderSplit(parent, parent_score, miss, acc_g, acc_h, acc_c, feature,
                   bins_.cut(feature, b), b, bounds, &best);
+    // Every present row is on the left: later boundaries leave the right
+    // side empty and can never form a valid split.
+    if (acc_c == present) break;
+  }
+  return best;
+}
+
+namespace {
+
+/// Stack capacity of the array-form boundary scan; features with more bins
+/// take the scalar fallback.
+constexpr int kMaxVecBins = 256;
+
+}  // namespace
+
+Trainer::SplitCandidate Trainer::FindSplitHistFast(
+    int feature, int nb, const HistEntry* slots, const NodeStats& miss,
+    const NodeStats& parent, double parent_score, int64_t present) const {
+  const double alpha = params_.reg_alpha;
+  const double lambda = params_.reg_lambda;
+  const double gamma = params_.gamma;
+  const int64_t msl = params_.min_samples_leaf;
+  const double mcw = params_.min_child_weight;
+  // Same soft-thresholded score as ScoreFn/ThresholdL1, inlined so the loop
+  // body is just adds, compares, and the two divisions.
+  const auto score = [alpha, lambda](double g, double h) {
+    const double t = g > alpha ? g - alpha : (g < -alpha ? g + alpha : 0.0);
+    return t * t / (h + lambda);
+  };
+  // Present-value right side = (parent - missing) - left, with the same
+  // association as ConsiderSplit so gains are bit-identical.
+  const double gsub = parent.sum_g - miss.sum_g;
+  const double hsub = parent.sum_h - miss.sum_h;
+  // With no missing mass the two default directions score identically and
+  // missing-left wins the tie-break, so the second direction is skipped.
+  const bool no_miss =
+      miss.count == 0 && miss.sum_g == 0.0 && miss.sum_h == 0.0;
+  double best_gain = kMinSplitGain;
+  int best_bin = -1;
+  bool best_dir = true;
+  if (nb <= kMaxVecBins) {
+    // Array form: prefix sums first, then a gain loop whose iterations are
+    // independent, so the divisions (the per-boundary cost) pipeline
+    // instead of serializing behind branches. Counts are carried as
+    // doubles (exact for any realistic row count) to keep the loop in one
+    // vectorizable domain. Empty bins duplicate their predecessor's prefix
+    // and thus its gain; the strict-> argmax keeps the earlier bin, which
+    // reproduces the scalar path's skip of empty boundaries.
+    const int nbound = nb - 1;
+    double pg[kMaxVecBins], ph[kMaxVecBins], pc[kMaxVecBins];
+    double own[kMaxVecBins];
+    double gain_l[kMaxVecBins], gain_r[kMaxVecBins];
+    {
+      double ag = 0.0, ah = 0.0;
+      int64_t ac = 0;
+      for (int b = 0; b < nbound; ++b) {
+        ag += slots[b].sum_g;
+        ah += slots[b].sum_h;
+        ac += slots[b].count;
+        pg[b] = ag;
+        ph[b] = ah;
+        pc[b] = static_cast<double>(ac);
+        own[b] = static_cast<double>(slots[b].count);
+      }
+    }
+    const double msl_d = static_cast<double>(msl);
+    const double present_d = static_cast<double>(present);
+    const double miss_g = miss.sum_g;
+    const double miss_h = miss.sum_h;
+    const double miss_c = static_cast<double>(miss.count);
+    const double neg_inf = -std::numeric_limits<double>::infinity();
+    for (int b = 0; b < nbound; ++b) {  // Missing goes left.
+      const double gl = pg[b] + miss_g;
+      const double hl = ph[b] + miss_h;
+      const double cl = pc[b] + miss_c;
+      const double shr = hsub - ph[b];
+      const double scr = present_d - pc[b];
+      const double gain =
+          0.5 * (score(gl, hl) + score(gsub - pg[b], shr) - parent_score) -
+          gamma;
+      // own[b] == 0 boundaries are skipped in the scalar scan ("no boundary
+      // change"), so mask them here for identical decisions.
+      const bool ok = own[b] > 0.0 && cl >= msl_d && scr >= msl_d &&
+                      hl >= mcw && shr >= mcw;
+      gain_l[b] = ok ? gain : neg_inf;
+    }
+    if (!no_miss) {
+      for (int b = 0; b < nbound; ++b) {  // Missing goes right.
+        const double sgr = gsub - pg[b];
+        const double shr = hsub - ph[b];
+        const double gr = sgr + miss_g;
+        const double hr = shr + miss_h;
+        const double cr = (present_d - pc[b]) + miss_c;
+        const double gain =
+            0.5 * (score(pg[b], ph[b]) + score(gr, hr) - parent_score) -
+            gamma;
+        const bool ok = own[b] > 0.0 && pc[b] >= msl_d && cr >= msl_d &&
+                        ph[b] >= mcw && hr >= mcw;
+        gain_r[b] = ok ? gain : neg_inf;
+      }
+    }
+    // Strict >: bins ascend and missing-left is checked first, so keeping
+    // the incumbent on ties reproduces ConsiderSplit's smaller-threshold /
+    // missing-left preference.
+    for (int b = 0; b < nbound; ++b) {
+      if (gain_l[b] > best_gain) {
+        best_gain = gain_l[b];
+        best_bin = b;
+        best_dir = true;
+      }
+      if (!no_miss && gain_r[b] > best_gain) {
+        best_gain = gain_r[b];
+        best_bin = b;
+        best_dir = false;
+      }
+    }
+    SplitCandidate best;
+    if (best_bin >= 0) {
+      const double gl =
+          best_dir ? pg[best_bin] + miss_g : pg[best_bin];
+      const double hl =
+          best_dir ? ph[best_bin] + miss_h : ph[best_bin];
+      const double gr =
+          best_dir ? gsub - pg[best_bin] : (gsub - pg[best_bin]) + miss_g;
+      const double hr =
+          best_dir ? hsub - ph[best_bin] : (hsub - ph[best_bin]) + miss_h;
+      best.valid = true;
+      best.feature = feature;
+      best.threshold = bins_.cut(feature, best_bin);
+      best.bin = best_bin;
+      best.default_left = best_dir;
+      best.gain = best_gain;
+      best.weight_left = LeafWeight(gl, hl);
+      best.weight_right = LeafWeight(gr, hr);
+    }
+    return best;
+  }
+  // Scalar fallback for very wide features (nb > kMaxVecBins).
+  double best_gl = 0.0, best_hl = 0.0, best_gr = 0.0, best_hr = 0.0;
+  double acc_g = 0.0, acc_h = 0.0;
+  int64_t acc_c = 0;
+  for (int b = 0; b + 1 < nb; ++b) {
+    acc_g += slots[b].sum_g;
+    acc_h += slots[b].sum_h;
+    acc_c += slots[b].count;
+    if (slots[b].count == 0) continue;  // no boundary change
+    const double sgr = gsub - acc_g;
+    const double shr = hsub - acc_h;
+    const int64_t scr = present - acc_c;
+    {  // Missing goes left.
+      const double gl = acc_g + miss.sum_g;
+      const double hl = acc_h + miss.sum_h;
+      const int64_t cl = acc_c + miss.count;
+      if (cl >= msl && scr >= msl && hl >= mcw && shr >= mcw) {
+        const double gain =
+            0.5 * (score(gl, hl) + score(sgr, shr) - parent_score) - gamma;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_bin = b;
+          best_dir = true;
+          best_gl = gl;
+          best_hl = hl;
+          best_gr = sgr;
+          best_hr = shr;
+        }
+      }
+    }
+    if (!no_miss) {  // Missing goes right.
+      const double gr = sgr + miss.sum_g;
+      const double hr = shr + miss.sum_h;
+      const int64_t cr = scr + miss.count;
+      if (acc_c >= msl && cr >= msl && acc_h >= mcw && hr >= mcw) {
+        const double gain =
+            0.5 * (score(acc_g, acc_h) + score(gr, hr) - parent_score) -
+            gamma;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_bin = b;
+          best_dir = false;
+          best_gl = acc_g;
+          best_hl = acc_h;
+          best_gr = gr;
+          best_hr = hr;
+        }
+      }
+    }
+    // Every present row is on the left: later boundaries leave the right
+    // side empty and can never form a valid split.
+    if (acc_c == present) break;
+  }
+  SplitCandidate best;
+  if (best_bin >= 0) {
+    best.valid = true;
+    best.feature = feature;
+    best.threshold = bins_.cut(feature, best_bin);
+    best.bin = best_bin;
+    best.default_left = best_dir;
+    best.gain = best_gain;
+    best.weight_left = LeafWeight(best_gl, best_hl);
+    best.weight_right = LeafWeight(best_gr, best_hr);
   }
   return best;
 }
@@ -182,7 +384,8 @@ void Trainer::BuildNode(RegressionTree* tree, int node_id,
                         std::vector<int64_t> rows, int depth,
                         const std::vector<GradientPair>& gpairs,
                         const std::vector<int>& features,
-                        const NodeBounds& bounds) {
+                        const NodeBounds& bounds,
+                        const HistogramLayout* layout, NodeHistogram hist) {
   NodeStats stats;
   for (int64_t r : rows) {
     stats.sum_g += gpairs[static_cast<size_t>(r)].grad;
@@ -196,13 +399,21 @@ void Trainer::BuildNode(RegressionTree* tree, int node_id,
                          stats.sum_h >= 2 * params_.min_child_weight;
   SplitCandidate best;
   if (can_split) {
+    if (use_hist_ && hist.empty()) {
+      // Root (or a node whose parent skipped the subtraction trick): one
+      // row-major pass accumulates every feature's histogram at once.
+      hist = hist_builder_->Build(*layout, rows, gpairs);
+      ++hist_nodes_direct_;
+    }
     // Per-feature proposals evaluated in parallel, reduced deterministically.
     std::vector<SplitCandidate> proposals(features.size());
     pool_.ParallelFor(static_cast<int64_t>(features.size()), [&](int64_t i) {
-      const int f = features[static_cast<size_t>(i)];
       proposals[static_cast<size_t>(i)] =
-          use_hist_ ? FindSplitHist(f, rows, gpairs, stats, bounds)
-                    : FindSplitExact(f, rows, gpairs, stats, bounds);
+          use_hist_
+              ? FindSplitHist(static_cast<int>(i), *layout, hist, stats,
+                              bounds)
+              : FindSplitExact(features[static_cast<size_t>(i)], rows, gpairs,
+                               stats, bounds);
     });
     for (const auto& p : proposals) {
       if (!p.valid) continue;
@@ -243,6 +454,24 @@ void Trainer::BuildNode(RegressionTree* tree, int node_id,
   }
   rows.clear();
   rows.shrink_to_fit();
+  // Sibling subtraction: build only the smaller child's histogram from its
+  // rows and derive the larger one as parent − smaller. Skipped when the
+  // children cannot split anyway (depth or min_samples_leaf), in which case
+  // they are passed empty histograms they will never consult.
+  NodeHistogram left_hist, right_hist;
+  if (use_hist_ && depth + 1 < params_.max_depth &&
+      static_cast<int64_t>(std::max(left_rows.size(), right_rows.size())) >=
+          2 * params_.min_samples_leaf) {
+    const bool left_smaller = left_rows.size() <= right_rows.size();
+    NodeHistogram smaller = hist_builder_->Build(
+        *layout, left_smaller ? left_rows : right_rows, gpairs);
+    ++hist_nodes_direct_;
+    NodeHistogram larger = NodeHistogram::Subtract(std::move(hist), smaller);
+    ++hist_nodes_subtracted_;
+    left_hist = left_smaller ? std::move(smaller) : std::move(larger);
+    right_hist = left_smaller ? std::move(larger) : std::move(smaller);
+  }
+  hist = NodeHistogram();  // release the parent histogram before recursing
   // Propagate monotone weight bounds: when this split is constrained, the
   // children's admissible weights are separated at the midpoint of the
   // candidate child weights (XGBoost's rule).
@@ -260,9 +489,9 @@ void Trainer::BuildNode(RegressionTree* tree, int node_id,
     }
   }
   BuildNode(tree, left_id, std::move(left_rows), depth + 1, gpairs, features,
-            left_bounds);
+            left_bounds, layout, std::move(left_hist));
   BuildNode(tree, right_id, std::move(right_rows), depth + 1, gpairs,
-            features, right_bounds);
+            features, right_bounds, layout, std::move(right_hist));
 }
 
 RegressionTree Trainer::GrowTree(const std::vector<GradientPair>& gpairs,
@@ -271,7 +500,10 @@ RegressionTree Trainer::GrowTree(const std::vector<GradientPair>& gpairs,
   RegressionTree tree;
   const NodeBounds root_bounds{-std::numeric_limits<double>::infinity(),
                                std::numeric_limits<double>::infinity()};
-  BuildNode(&tree, 0, std::move(rows), 0, gpairs, features, root_bounds);
+  HistogramLayout layout;
+  if (use_hist_) layout = HistogramLayout(bins_, features);
+  BuildNode(&tree, 0, std::move(rows), 0, gpairs, features, root_bounds,
+            use_hist_ ? &layout : nullptr, NodeHistogram());
   return tree;
 }
 
@@ -304,8 +536,11 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
 
   use_hist_ = params_.tree_method == TreeMethod::kHist;
   if (use_hist_) {
-    MYSAWH_ASSIGN_OR_RETURN(bins_, FeatureBins::Build(train_, params_.max_bins));
-    binned_ = BinnedMatrix::Build(train_, bins_);
+    MYSAWH_ASSIGN_OR_RETURN(BinnedData binned_data,
+                            BuildBinned(train_, params_.max_bins, &pool_));
+    bins_ = std::move(binned_data.bins);
+    binned_ = std::move(binned_data.matrix);
+    hist_builder_ = std::make_unique<HistogramBuilder>(bins_, binned_, &pool_);
   }
 
   GbtModel model;
@@ -330,7 +565,9 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
   int best_round = -1;
 
   for (int round = 0; round < params_.num_trees; ++round) {
-    for (int64_t i = 0; i < n; ++i) {
+    // Per-row gradients are independent writes to disjoint slots, so the
+    // parallel loop is deterministic for any thread count.
+    pool_.ParallelFor(n, [&](int64_t i) {
       GradientPair gp = objective_->ComputeGradient(
           train_.label(i), raw_train[static_cast<size_t>(i)]);
       if (params_.scale_pos_weight != 1.0 && train_.label(i) == 1.0) {
@@ -338,7 +575,7 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
         gp.hess *= params_.scale_pos_weight;
       }
       gpairs[static_cast<size_t>(i)] = gp;
-    }
+    });
     // Row subsample.
     std::vector<int64_t> rows;
     if (params_.subsample < 1.0) {
@@ -371,13 +608,13 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
     RegressionTree tree = GrowTree(gpairs, std::move(rows), features);
 
     // Update cached raw scores (all rows, not just the subsample).
-    for (int64_t i = 0; i < n; ++i) {
+    pool_.ParallelFor(n, [&](int64_t i) {
       raw_train[static_cast<size_t>(i)] += tree.Predict(train_.row(i));
-    }
+    });
     if (validation != nullptr) {
-      for (int64_t i = 0; i < validation->num_rows(); ++i) {
+      pool_.ParallelFor(validation->num_rows(), [&](int64_t i) {
         raw_valid[static_cast<size_t>(i)] += tree.Predict(validation->row(i));
-      }
+      });
     }
     model.trees_.push_back(std::move(tree));
 
@@ -386,10 +623,10 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
     double valid_metric = std::numeric_limits<double>::quiet_NaN();
     if (log != nullptr || validation != nullptr) {
       std::vector<double> preds(static_cast<size_t>(n));
-      for (int64_t i = 0; i < n; ++i) {
+      pool_.ParallelFor(n, [&](int64_t i) {
         preds[static_cast<size_t>(i)] =
             objective_->Transform(raw_train[static_cast<size_t>(i)]);
-      }
+      });
       train_metric = objective_->EvalDefaultMetric(train_.labels(), preds);
       if (validation != nullptr) {
         std::vector<double> vpreds(raw_valid.size());
@@ -420,6 +657,10 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
     model.best_iteration_ = best_round;
   } else {
     model.best_iteration_ = static_cast<int>(model.trees_.size()) - 1;
+  }
+  if (log != nullptr) {
+    log->hist_nodes_direct = hist_nodes_direct_;
+    log->hist_nodes_subtracted = hist_nodes_subtracted_;
   }
   return model;
 }

@@ -7,6 +7,7 @@
 #include "data/dataset.h"
 #include "gbt/binning.h"
 #include "gbt/gbt_model.h"
+#include "gbt/histogram.h"
 #include "gbt/objective.h"
 #include "gbt/params.h"
 #include "util/rng.h"
@@ -57,25 +58,44 @@ class Trainer {
   /// Evaluates both missing-direction assignments for a partition
   /// (left/right exclude missing) and updates `best` in place, skipping
   /// candidates that violate the feature's monotone constraint or the
-  /// node's weight bounds.
-  void ConsiderSplit(const NodeStats& parent, const NodeStats& miss,
-                     double sum_g_left, double sum_h_left, int64_t count_left,
-                     int feature, double threshold, int bin,
-                     const NodeBounds& bounds, SplitCandidate* best) const;
+  /// node's weight bounds. `parent_score` is ScoreFn(parent), hoisted out
+  /// because this runs once per candidate boundary.
+  void ConsiderSplit(const NodeStats& parent, double parent_score,
+                     const NodeStats& miss, double sum_g_left,
+                     double sum_h_left, int64_t count_left, int feature,
+                     double threshold, int bin, const NodeBounds& bounds,
+                     SplitCandidate* best) const;
 
   SplitCandidate FindSplitExact(int feature, const std::vector<int64_t>& rows,
                                 const std::vector<GradientPair>& gpairs,
                                 const NodeStats& parent,
                                 const NodeBounds& bounds) const;
-  SplitCandidate FindSplitHist(int feature, const std::vector<int64_t>& rows,
-                               const std::vector<GradientPair>& gpairs,
+  /// Unconstrained hist boundary scan (no monotone constraints configured,
+  /// so node bounds are always infinite and no candidate can be rejected
+  /// after scoring). Same gains, tie-breaks, and results as the generic
+  /// path through ConsiderSplit, but with the per-boundary work reduced to
+  /// the two score divisions. This is the hist-mode hot loop.
+  SplitCandidate FindSplitHistFast(int feature, int nb,
+                                   const HistEntry* slots,
+                                   const NodeStats& miss,
+                                   const NodeStats& parent,
+                                   double parent_score,
+                                   int64_t present) const;
+  /// Scans the prebuilt node histogram of the `feature_pos`-th selected
+  /// feature for the best boundary.
+  SplitCandidate FindSplitHist(int feature_pos, const HistogramLayout& layout,
+                               const NodeHistogram& hist,
                                const NodeStats& parent,
                                const NodeBounds& bounds) const;
 
-  /// Recursively grows the subtree rooted at `node_id` over `rows`.
+  /// Recursively grows the subtree rooted at `node_id` over `rows`. In hist
+  /// mode `layout` is the tree's histogram layout and `hist` the node's
+  /// histogram (built lazily when empty); children inherit histograms via
+  /// the sibling-subtraction trick. In exact mode `layout` is null.
   void BuildNode(RegressionTree* tree, int node_id, std::vector<int64_t> rows,
                  int depth, const std::vector<GradientPair>& gpairs,
-                 const std::vector<int>& features, const NodeBounds& bounds);
+                 const std::vector<int>& features, const NodeBounds& bounds,
+                 const HistogramLayout* layout, NodeHistogram hist);
 
   /// The monotone constraint of a feature (0 when none configured).
   int ConstraintOf(int feature) const;
@@ -90,7 +110,10 @@ class Trainer {
   std::unique_ptr<Objective> objective_;
   FeatureBins bins_;
   BinnedMatrix binned_;
+  std::unique_ptr<HistogramBuilder> hist_builder_;
   bool use_hist_ = false;
+  int64_t hist_nodes_direct_ = 0;      ///< Histograms built from rows.
+  int64_t hist_nodes_subtracted_ = 0;  ///< Histograms derived by subtraction.
   Rng rng_;
   ThreadPool pool_;
 };

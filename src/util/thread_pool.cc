@@ -59,6 +59,32 @@ void ThreadPool::ParallelFor(int64_t count,
   Wait();
 }
 
+void ThreadPool::ParallelForChunks(
+    int64_t count, int64_t chunk_size,
+    const std::function<void(int64_t chunk, int64_t begin, int64_t end)>&
+        fn) {
+  if (count <= 0 || chunk_size <= 0) return;
+  if (workers_.empty()) {
+    int64_t chunk = 0;
+    for (int64_t begin = 0; begin < count; begin += chunk_size, ++chunk) {
+      fn(chunk, begin, std::min(begin + chunk_size, count));
+    }
+    return;
+  }
+  int64_t chunk = 0;
+  for (int64_t begin = 0; begin < count; begin += chunk_size, ++chunk) {
+    const int64_t end = std::min(begin + chunk_size, count);
+    Submit([chunk, begin, end, &fn] { fn(chunk, begin, end); });
+  }
+  Wait();
+}
+
+ThreadPool& DefaultPool() {
+  static ThreadPool pool(
+      static_cast<int>(std::thread::hardware_concurrency()));
+  return pool;
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;

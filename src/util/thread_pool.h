@@ -36,7 +36,22 @@ class ThreadPool {
   /// Runs `fn(i)` for i in [0, count), partitioned into contiguous chunks
   /// across the pool, and blocks until all iterations complete. `fn` must be
   /// safe to call concurrently for distinct i.
+  ///
+  /// Must not be called from inside a task running on this pool: Wait()
+  /// counts the caller's own task as in flight and would deadlock.
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
+
+  /// Runs `fn(chunk, begin, end)` over the fixed-size partition of
+  /// [0, count) into chunks of `chunk_size` (the last chunk may be short),
+  /// and blocks until all chunks complete. Chunk boundaries depend only on
+  /// `count` and `chunk_size` — never on the worker count — so reductions
+  /// that accumulate per chunk and then merge in chunk order are bit-exact
+  /// for any `num_threads`, including inline execution. The chunk index is
+  /// dense in [0, ceil(count / chunk_size)).
+  void ParallelForChunks(
+      int64_t count, int64_t chunk_size,
+      const std::function<void(int64_t chunk, int64_t begin, int64_t end)>&
+          fn);
 
  private:
   void WorkerLoop();
@@ -49,6 +64,13 @@ class ThreadPool {
   int64_t in_flight_ = 0;
   bool shutting_down_ = false;
 };
+
+/// A process-wide shared pool sized to the hardware concurrency, for batch
+/// workloads (prediction, SHAP) that have no per-call thread configuration.
+/// Lazily constructed on first use; on single-core machines it runs inline.
+/// Safe to use from several caller threads at once, but the no-reentrancy
+/// rule of ParallelFor applies here too.
+ThreadPool& DefaultPool();
 
 }  // namespace mysawh
 
