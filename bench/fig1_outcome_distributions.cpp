@@ -36,7 +36,7 @@ int main() {
   }
   std::cout << "Fig 1a: QoL distribution (" << qol_sets.retained
             << " monthly records)\n"
-            << RenderBarChart(qol_labels, qol_counts) << "\n";
+            << ValueOrDie(RenderBarChart(qol_labels, qol_counts)) << "\n";
 
   // (b) SPPB.
   const auto sppb_sets = MakeSampleSets(cohort, core::Outcome::kSppb);
@@ -51,7 +51,7 @@ int main() {
     sppb_values.push_back(static_cast<double>(sppb_counts[static_cast<size_t>(v)]));
   }
   std::cout << "Fig 1b: SPPB distribution\n"
-            << RenderBarChart(sppb_labels, sppb_values) << "\n";
+            << ValueOrDie(RenderBarChart(sppb_labels, sppb_values)) << "\n";
 
   // (c) Falls.
   const auto falls_sets = MakeSampleSets(cohort, core::Outcome::kFalls);
@@ -59,9 +59,9 @@ int main() {
   for (double y : falls_sets.dd.labels()) truthy += y > 0.5 ? 1 : 0;
   const int64_t falsy = falls_sets.retained - truthy;
   std::cout << "Fig 1c: Falls distribution\n"
-            << RenderBarChart({"False", "True"},
-                              {static_cast<double>(falsy),
-                               static_cast<double>(truthy)})
+            << ValueOrDie(RenderBarChart({"False", "True"},
+                                         {static_cast<double>(falsy),
+                                          static_cast<double>(truthy)}))
             << "\nFalls positive rate: "
             << FormatPercent(static_cast<double>(truthy) /
                                  static_cast<double>(falls_sets.retained),

@@ -1,0 +1,247 @@
+#include "core/checkpoint.h"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/failpoint.h"
+#include "util/file_io.h"
+#include "util/serialization.h"
+#include "util/string_util.h"
+
+namespace mysawh::core {
+namespace {
+
+constexpr char kHeader[] = "mysawh-cell v1";
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string EncodeRegression(const RegressionMetrics& m) {
+  std::ostringstream os;
+  os << EncodeDouble(m.mae) << " " << EncodeDouble(m.rmse) << " "
+     << EncodeDouble(m.mape) << " " << EncodeDouble(m.one_minus_mape) << " "
+     << m.n << " " << m.mape_skipped;
+  return os.str();
+}
+
+Result<RegressionMetrics> DecodeRegression(const std::vector<std::string>& f) {
+  if (f.size() != 6) {
+    return Status::InvalidArgument("regression metrics need 6 fields");
+  }
+  RegressionMetrics m;
+  MYSAWH_ASSIGN_OR_RETURN(m.mae, DecodeDouble(f[0]));
+  MYSAWH_ASSIGN_OR_RETURN(m.rmse, DecodeDouble(f[1]));
+  MYSAWH_ASSIGN_OR_RETURN(m.mape, DecodeDouble(f[2]));
+  MYSAWH_ASSIGN_OR_RETURN(m.one_minus_mape, DecodeDouble(f[3]));
+  MYSAWH_ASSIGN_OR_RETURN(m.n, ParseInt64(f[4]));
+  MYSAWH_ASSIGN_OR_RETURN(m.mape_skipped, ParseInt64(f[5]));
+  return m;
+}
+
+std::string EncodeClassification(const ClassificationMetrics& m) {
+  std::ostringstream os;
+  os << m.tp << " " << m.fp << " " << m.tn << " " << m.fn << " "
+     << EncodeDouble(m.accuracy) << " " << EncodeDouble(m.precision_true)
+     << " " << EncodeDouble(m.precision_false) << " "
+     << EncodeDouble(m.recall_true) << " " << EncodeDouble(m.recall_false)
+     << " " << EncodeDouble(m.f1_true) << " " << EncodeDouble(m.f1_false);
+  return os.str();
+}
+
+Result<ClassificationMetrics> DecodeClassification(
+    const std::vector<std::string>& f) {
+  if (f.size() != 11) {
+    return Status::InvalidArgument("classification metrics need 11 fields");
+  }
+  ClassificationMetrics m;
+  MYSAWH_ASSIGN_OR_RETURN(m.tp, ParseInt64(f[0]));
+  MYSAWH_ASSIGN_OR_RETURN(m.fp, ParseInt64(f[1]));
+  MYSAWH_ASSIGN_OR_RETURN(m.tn, ParseInt64(f[2]));
+  MYSAWH_ASSIGN_OR_RETURN(m.fn, ParseInt64(f[3]));
+  MYSAWH_ASSIGN_OR_RETURN(m.accuracy, DecodeDouble(f[4]));
+  MYSAWH_ASSIGN_OR_RETURN(m.precision_true, DecodeDouble(f[5]));
+  MYSAWH_ASSIGN_OR_RETURN(m.precision_false, DecodeDouble(f[6]));
+  MYSAWH_ASSIGN_OR_RETURN(m.recall_true, DecodeDouble(f[7]));
+  MYSAWH_ASSIGN_OR_RETURN(m.recall_false, DecodeDouble(f[8]));
+  MYSAWH_ASSIGN_OR_RETURN(m.f1_true, DecodeDouble(f[9]));
+  MYSAWH_ASSIGN_OR_RETURN(m.f1_false, DecodeDouble(f[10]));
+  return m;
+}
+
+/// Splits "<tag> <rest>" and verifies the tag; returns the rest.
+Result<std::string> TaggedRest(const std::string& line,
+                               const std::string& tag) {
+  if (!StartsWith(line, tag + " ")) {
+    return Status::InvalidArgument("expected '" + tag + "' line, got: " + line);
+  }
+  return line.substr(tag.size() + 1);
+}
+
+}  // namespace
+
+std::string CheckpointFileName(Outcome outcome, Approach approach,
+                               bool with_fi) {
+  return "cell_" + Lower(OutcomeName(outcome)) + "_" +
+         Lower(ApproachName(approach)) + (with_fi ? "_fi1" : "_fi0") + ".ckpt";
+}
+
+std::string SerializeExperimentResult(const ExperimentResult& result,
+                                      const std::string& fingerprint) {
+  const std::string model_text =
+      result.model ? result.model->SerializeWithKind() : std::string();
+  std::ostringstream os;
+  os << kHeader << "\n";
+  os << "fingerprint " << fingerprint << "\n";
+  os << "cell " << OutcomeName(result.outcome) << " "
+     << ApproachName(result.approach) << " " << (result.with_fi ? 1 : 0)
+     << "\n";
+  os << "classification " << (result.is_classification ? 1 : 0) << "\n";
+  os << "test_regression " << EncodeRegression(result.test_regression) << "\n";
+  os << "cv_regression " << EncodeRegression(result.cv_regression) << "\n";
+  os << "test_classification "
+     << EncodeClassification(result.test_classification) << "\n";
+  os << "cv_classification " << EncodeClassification(result.cv_classification)
+     << "\n";
+  os << "model_bytes " << model_text.size() << "\n";
+  os << model_text;
+  return os.str();
+}
+
+Result<ExperimentResult> DeserializeExperimentResult(
+    const std::string& text, const std::string& expected_fingerprint) {
+  std::istringstream is(text);
+  std::string line;
+  auto next_line = [&]() -> Result<std::string> {
+    if (!std::getline(is, line)) {
+      return Status::InvalidArgument("checkpoint truncated");
+    }
+    return line;
+  };
+  MYSAWH_ASSIGN_OR_RETURN(std::string header, next_line());
+  if (header != kHeader) {
+    return Status::InvalidArgument("bad checkpoint header: " + header);
+  }
+  MYSAWH_ASSIGN_OR_RETURN(std::string fp_line, next_line());
+  MYSAWH_ASSIGN_OR_RETURN(std::string fp, TaggedRest(fp_line, "fingerprint"));
+  if (fp != expected_fingerprint) {
+    return Status::FailedPrecondition(
+        "checkpoint fingerprint mismatch: file has '" + fp +
+        "', study expects '" + expected_fingerprint + "'");
+  }
+  ExperimentResult result;
+  MYSAWH_ASSIGN_OR_RETURN(std::string cell_line, next_line());
+  {
+    MYSAWH_ASSIGN_OR_RETURN(std::string rest, TaggedRest(cell_line, "cell"));
+    const auto parts = Split(rest, ' ');
+    if (parts.size() != 3) {
+      return Status::InvalidArgument("bad cell line: " + cell_line);
+    }
+    MYSAWH_ASSIGN_OR_RETURN(result.outcome, ParseOutcome(parts[0]));
+    if (parts[1] == "DD") {
+      result.approach = Approach::kDataDriven;
+    } else if (parts[1] == "KD") {
+      result.approach = Approach::kKnowledgeDriven;
+    } else {
+      return Status::InvalidArgument("bad approach: " + parts[1]);
+    }
+    MYSAWH_ASSIGN_OR_RETURN(int64_t fi, ParseInt64(parts[2]));
+    result.with_fi = fi != 0;
+  }
+  MYSAWH_ASSIGN_OR_RETURN(std::string cls_line, next_line());
+  {
+    MYSAWH_ASSIGN_OR_RETURN(std::string rest,
+                            TaggedRest(cls_line, "classification"));
+    MYSAWH_ASSIGN_OR_RETURN(int64_t cls, ParseInt64(rest));
+    result.is_classification = cls != 0;
+  }
+  MYSAWH_ASSIGN_OR_RETURN(std::string tr_line, next_line());
+  {
+    MYSAWH_ASSIGN_OR_RETURN(std::string rest,
+                            TaggedRest(tr_line, "test_regression"));
+    MYSAWH_ASSIGN_OR_RETURN(result.test_regression,
+                            DecodeRegression(Split(rest, ' ')));
+  }
+  MYSAWH_ASSIGN_OR_RETURN(std::string cr_line, next_line());
+  {
+    MYSAWH_ASSIGN_OR_RETURN(std::string rest,
+                            TaggedRest(cr_line, "cv_regression"));
+    MYSAWH_ASSIGN_OR_RETURN(result.cv_regression,
+                            DecodeRegression(Split(rest, ' ')));
+  }
+  MYSAWH_ASSIGN_OR_RETURN(std::string tc_line, next_line());
+  {
+    MYSAWH_ASSIGN_OR_RETURN(std::string rest,
+                            TaggedRest(tc_line, "test_classification"));
+    MYSAWH_ASSIGN_OR_RETURN(result.test_classification,
+                            DecodeClassification(Split(rest, ' ')));
+  }
+  MYSAWH_ASSIGN_OR_RETURN(std::string cc_line, next_line());
+  {
+    MYSAWH_ASSIGN_OR_RETURN(std::string rest,
+                            TaggedRest(cc_line, "cv_classification"));
+    MYSAWH_ASSIGN_OR_RETURN(result.cv_classification,
+                            DecodeClassification(Split(rest, ' ')));
+  }
+  MYSAWH_ASSIGN_OR_RETURN(std::string mb_line, next_line());
+  int64_t model_bytes = 0;
+  {
+    MYSAWH_ASSIGN_OR_RETURN(std::string rest,
+                            TaggedRest(mb_line, "model_bytes"));
+    MYSAWH_ASSIGN_OR_RETURN(model_bytes, ParseInt64(rest));
+    if (model_bytes < 0) {
+      return Status::InvalidArgument("negative model_bytes");
+    }
+  }
+  // The model payload is the raw remainder after the model_bytes line.
+  const auto payload_start = static_cast<size_t>(is.tellg());
+  if (is.tellg() < 0 || text.size() - payload_start !=
+                            static_cast<size_t>(model_bytes)) {
+    return Status::InvalidArgument("checkpoint model payload length mismatch");
+  }
+  if (model_bytes > 0) {
+    MYSAWH_ASSIGN_OR_RETURN(result.model,
+                            model::Model::Deserialize(text.substr(payload_start)));
+  }
+  return result;
+}
+
+Status SaveCellCheckpoint(const std::string& dir,
+                          const std::string& fingerprint,
+                          const ExperimentResult& result) {
+  // "study/cell_save" armed as `from:K` simulates a process killed after
+  // K-1 cells persisted (every later save fails too, like a dead process).
+  MYSAWH_FAILPOINT("study/cell_save");
+  const std::string path =
+      dir + "/" +
+      CheckpointFileName(result.outcome, result.approach, result.with_fi);
+  return WriteFileChecksummed(path, SerializeExperimentResult(result, fingerprint),
+                              "checkpoint_write");
+}
+
+Result<ExperimentResult> LoadCellCheckpoint(const std::string& dir,
+                                            const std::string& fingerprint,
+                                            Outcome outcome, Approach approach,
+                                            bool with_fi) {
+  const std::string path =
+      dir + "/" + CheckpointFileName(outcome, approach, with_fi);
+  if (::access(path.c_str(), F_OK) != 0) {
+    return Status::NotFound("no checkpoint at " + path);
+  }
+  MYSAWH_ASSIGN_OR_RETURN(std::string payload, ReadFileChecksummed(path));
+  MYSAWH_ASSIGN_OR_RETURN(ExperimentResult result,
+                          DeserializeExperimentResult(payload, fingerprint));
+  if (result.outcome != outcome || result.approach != approach ||
+      result.with_fi != with_fi) {
+    return Status::DataLoss("checkpoint " + path +
+                            " holds a different cell than its name claims");
+  }
+  return result;
+}
+
+}  // namespace mysawh::core

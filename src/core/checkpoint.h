@@ -1,0 +1,60 @@
+#ifndef MYSAWH_CORE_CHECKPOINT_H_
+#define MYSAWH_CORE_CHECKPOINT_H_
+
+#include <string>
+
+#include "core/evaluation.h"
+#include "util/status.h"
+
+namespace mysawh::core {
+
+/// Per-cell study checkpoints: each of RunFullStudy's twelve experiment
+/// cells persists its result on completion, so a crashed or killed study
+/// can resume without re-training the finished cells.
+///
+/// Layout: `<dir>/cell_<outcome>_<approach>_<fi0|fi1>.ckpt`, one file per
+/// cell, each written atomically inside the checksummed artifact envelope
+/// (util/file_io.h). A checkpoint stores the cell's metrics (hex-encoded
+/// doubles, exact round-trip) plus the trained model; the train/test
+/// partitions are NOT persisted — a resumed cell re-derives nothing the
+/// final REPORT.md needs, so a resumed study renders a report bit-identical
+/// to an uninterrupted run, but its resumed cells carry empty partitions.
+///
+/// Every checkpoint records a `fingerprint` of the study configuration;
+/// LoadCellCheckpoint rejects checkpoints whose fingerprint differs
+/// (FailedPrecondition), so resuming under changed settings silently
+/// re-runs instead of mixing incompatible results.
+
+/// Stable file name of one cell's checkpoint, e.g. "cell_qol_dd_fi1.ckpt".
+std::string CheckpointFileName(Outcome outcome, Approach approach,
+                               bool with_fi);
+
+/// Serializes one cell result (metrics + model, versioned header).
+std::string SerializeExperimentResult(const ExperimentResult& result,
+                                      const std::string& fingerprint);
+
+/// Inverse of SerializeExperimentResult. The returned result's train/test
+/// datasets are empty. Fails with InvalidArgument on malformed text and
+/// FailedPrecondition when `expected_fingerprint` differs.
+Result<ExperimentResult> DeserializeExperimentResult(
+    const std::string& text, const std::string& expected_fingerprint);
+
+/// Writes `result`'s checkpoint into `dir` (which must exist),
+/// atomically and checksummed. Fault sites: "study/cell_save" fails the
+/// whole save (arm `from:K` to simulate a kill after K-1 cells), and the
+/// per-syscall "checkpoint_write/{open,write,fsync,rename}" sites.
+Status SaveCellCheckpoint(const std::string& dir,
+                          const std::string& fingerprint,
+                          const ExperimentResult& result);
+
+/// Loads one cell's checkpoint from `dir`. NotFound when absent, DataLoss
+/// when the file is corrupt, FailedPrecondition on fingerprint mismatch —
+/// all of which a resuming study treats as "re-run this cell".
+Result<ExperimentResult> LoadCellCheckpoint(const std::string& dir,
+                                            const std::string& fingerprint,
+                                            Outcome outcome, Approach approach,
+                                            bool with_fi);
+
+}  // namespace mysawh::core
+
+#endif  // MYSAWH_CORE_CHECKPOINT_H_

@@ -1,15 +1,52 @@
 #include "core/study.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
 #include <sstream>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "cohort/simulator.h"
+#include "core/checkpoint.h"
+#include "util/failpoint.h"
+#include "util/serialization.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace mysawh::core {
+
+namespace {
+
+Status EnsureCheckpointDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::Ok();
+  return Status::IoError("cannot create checkpoint directory " + dir + ": " +
+                         std::strerror(errno));
+}
+
+}  // namespace
+
+std::string StudyFingerprint(const StudyConfig& config) {
+  std::ostringstream os;
+  os << "seed=" << config.cohort.seed << " clinics=";
+  for (const auto& clinic : config.cohort.clinics) {
+    os << clinic.name << ":" << clinic.num_patients << ":"
+       << EncodeDouble(clinic.answer_shift) << ":"
+       << EncodeDouble(clinic.noise_scale) << ";";
+  }
+  os << " months=" << config.cohort.num_months
+     << " gap=" << config.build.max_interpolation_gap
+     << " imputation=" << static_cast<int>(config.build.imputation)
+     << " miss=" << EncodeDouble(config.build.max_missing_fraction)
+     << " test=" << EncodeDouble(config.protocol.test_fraction)
+     << " folds=" << config.protocol.cv_folds
+     << " eval_seed=" << config.protocol.seed
+     << " threshold=" << EncodeDouble(config.protocol.decision_threshold)
+     << " family=" << ModelFamilyName(config.model_family);
+  return os.str();
+}
 
 Result<const ExperimentResult*> StudyResult::Cell(Outcome outcome,
                                                   Approach approach,
@@ -114,6 +151,11 @@ Result<StudyResult> RunFullStudy(const StudyConfig& config) {
   if (num_threads == 0) {
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
   }
+  const bool checkpointing = !config.checkpoint_dir.empty();
+  const std::string fingerprint = StudyFingerprint(config);
+  if (checkpointing) {
+    MYSAWH_RETURN_NOT_OK(EnsureCheckpointDir(config.checkpoint_dir));
+  }
   ThreadPool pool(num_threads);
   std::vector<Result<ExperimentResult>> outcomes_by_cell;
   outcomes_by_cell.reserve(jobs.size());
@@ -122,11 +164,35 @@ Result<StudyResult> RunFullStudy(const StudyConfig& config) {
   }
   pool.ParallelFor(static_cast<int64_t>(jobs.size()), [&](int64_t i) {
     const CellJob& job = jobs[static_cast<size_t>(i)];
+    auto& slot = outcomes_by_cell[static_cast<size_t>(i)];
+    if (checkpointing && config.resume) {
+      Result<ExperimentResult> loaded =
+          LoadCellCheckpoint(config.checkpoint_dir, fingerprint, job.outcome,
+                             job.approach, job.with_fi);
+      if (loaded.ok()) {
+        slot = std::move(loaded);
+        return;
+      }
+      // NotFound (never checkpointed), DataLoss (corrupt file) and
+      // FailedPrecondition (different configuration) all mean the same
+      // thing here: this cell must be recomputed.
+    }
+    if (auto injected = FailpointRegistry::Global().Check("study/cell_run")) {
+      slot = *std::move(injected);
+      return;
+    }
     ModelFamilyConfig model_config =
         DefaultModelConfig(job.outcome, job.approach, config.model_family);
-    outcomes_by_cell[static_cast<size_t>(i)] =
-        RunExperiment(*job.data, job.outcome, job.approach, job.with_fi,
-                      model_config, config.protocol);
+    slot = RunExperiment(*job.data, job.outcome, job.approach, job.with_fi,
+                         model_config, config.protocol);
+    if (slot.ok() && checkpointing) {
+      const Status saved =
+          SaveCellCheckpoint(config.checkpoint_dir, fingerprint, *slot);
+      // A cell whose checkpoint cannot be written counts as failed: the
+      // study's contract is that a later --resume never silently re-runs
+      // work it reported as persisted.
+      if (!saved.ok()) slot = saved;
+    }
   });
 
   // Collect in grid order so the first error reported is deterministic too.

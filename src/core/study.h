@@ -22,7 +22,23 @@ struct StudyConfig {
   /// 1 runs sequentially. Results are identical for any thread count:
   /// each cell derives its randomness solely from `protocol.seed`.
   int num_threads = 0;
+  /// When non-empty, every finished cell persists its result into this
+  /// directory (created if absent) as an atomically written, checksummed
+  /// checkpoint file — see core/checkpoint.h.
+  std::string checkpoint_dir;
+  /// With `checkpoint_dir` set, cells whose checkpoint exists, verifies,
+  /// and matches the configuration fingerprint are loaded instead of
+  /// re-run; missing, corrupt, or mismatched checkpoints re-run (and are
+  /// re-written). A resumed study's ToMarkdown() output is bit-identical
+  /// to an uninterrupted run's.
+  bool resume = false;
 };
+
+/// Canonical fingerprint of the configuration fields that determine cell
+/// results (cohort, sample building, protocol, model family — not thread
+/// count or checkpoint settings). Stored inside every checkpoint so stale
+/// checkpoints from a different configuration are never resumed.
+std::string StudyFingerprint(const StudyConfig& config);
 
 /// Key of one experiment cell in the study grid.
 struct StudyCellKey {

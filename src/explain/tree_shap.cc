@@ -208,6 +208,8 @@ double TreeExpectedValue(const RegressionTree& tree, int node_index) {
 }  // namespace
 
 TreeShap::TreeShap(const gbt::GbtModel* model) : model_(model) {
+  // API contract, not input-reachable: every caller obtains the model from
+  // training or a validated LoadFromFile (see the policy in util/logging.h).
   MYSAWH_CHECK(model != nullptr);
   expected_value_ = model->base_score();
   for (const auto& tree : model->trees()) {

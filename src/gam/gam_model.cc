@@ -364,7 +364,9 @@ Result<GamModel> GamModel::Deserialize(const std::string& text) {
     MYSAWH_ASSIGN_OR_RETURN(int64_t num_nodes, ParseInt64(tparts[2]));
     if (num_nodes < 1) return Status::InvalidArgument("empty tree");
     std::vector<gbt::TreeNode> nodes;
-    nodes.reserve(static_cast<size_t>(num_nodes));
+    // Bounded reserve: corrupt counts fail on missing lines, not on a
+    // giant allocation.
+    nodes.reserve(static_cast<size_t>(std::min<int64_t>(num_nodes, 4096)));
     for (int64_t i = 0; i < num_nodes; ++i) {
       MYSAWH_ASSIGN_OR_RETURN(std::string nline, next_line());
       MYSAWH_ASSIGN_OR_RETURN(gbt::TreeNode node,
@@ -372,7 +374,7 @@ Result<GamModel> GamModel::Deserialize(const std::string& text) {
       nodes.push_back(node);
     }
     RegressionTree rebuilt = RegressionTree::FromNodes(std::move(nodes));
-    MYSAWH_RETURN_NOT_OK(rebuilt.Validate());
+    MYSAWH_RETURN_NOT_OK(rebuilt.Validate(num_features));
     model.trees_.push_back(std::move(rebuilt));
     model.tree_feature_.push_back(static_cast<int>(feature));
   }

@@ -1,5 +1,6 @@
 #include "gbt/gbt_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -181,6 +182,9 @@ Result<GbtModel> GbtModel::Deserialize(const std::string& text) {
       return Status::InvalidArgument("bad num_features line");
     }
     MYSAWH_ASSIGN_OR_RETURN(num_features, ParseInt64(parts[1]));
+    if (num_features < 0) {
+      return Status::InvalidArgument("negative num_features");
+    }
   }
   for (int64_t i = 0; i < num_features; ++i) {
     MYSAWH_ASSIGN_OR_RETURN(std::string fline, next_line());
@@ -207,14 +211,16 @@ Result<GbtModel> GbtModel::Deserialize(const std::string& text) {
     MYSAWH_ASSIGN_OR_RETURN(int64_t num_nodes, ParseInt64(tparts[1]));
     if (num_nodes < 1) return Status::InvalidArgument("empty tree");
     std::vector<TreeNode> nodes;
-    nodes.reserve(static_cast<size_t>(num_nodes));
+    // Reserve is bounded: a corrupted count must fail on the missing
+    // lines below, not attempt a multi-exabyte allocation here.
+    nodes.reserve(static_cast<size_t>(std::min<int64_t>(num_nodes, 4096)));
     for (int64_t i = 0; i < num_nodes; ++i) {
       MYSAWH_ASSIGN_OR_RETURN(std::string nline, next_line());
       MYSAWH_ASSIGN_OR_RETURN(TreeNode node, TreeNodeFromText(nline));
       nodes.push_back(node);
     }
     RegressionTree rebuilt = RegressionTree::FromNodes(std::move(nodes));
-    MYSAWH_RETURN_NOT_OK(rebuilt.Validate());
+    MYSAWH_RETURN_NOT_OK(rebuilt.Validate(num_features));
     model.trees_.push_back(std::move(rebuilt));
   }
   return model;

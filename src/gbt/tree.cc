@@ -68,7 +68,7 @@ double RegressionTree::Predict(const double* row) const {
   return nodes_[static_cast<size_t>(GetLeaf(row))].value;
 }
 
-Status RegressionTree::Validate() const {
+Status RegressionTree::Validate(int64_t num_features) const {
   if (nodes_.empty()) return Status::Internal("tree has no nodes");
   for (size_t i = 0; i < nodes_.size(); ++i) {
     const TreeNode& n = nodes_[i];
@@ -85,8 +85,9 @@ Status RegressionTree::Validate() const {
       return Status::Internal("child link out of range at node " +
                               std::to_string(i));
     }
-    if (n.feature < 0) {
-      return Status::Internal("internal node without feature at node " +
+    if (n.feature < 0 ||
+        (num_features >= 0 && n.feature >= num_features)) {
+      return Status::Internal("split feature out of range at node " +
                               std::to_string(i));
     }
     if (!std::isfinite(n.threshold)) {

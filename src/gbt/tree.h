@@ -60,7 +60,11 @@ class RegressionTree {
 
   /// Structural validation: child links in range, thresholds finite,
   /// covers non-negative and children's covers not exceeding the parent's.
-  Status Validate() const;
+  /// With `num_features >= 0`, additionally requires every internal
+  /// node's split feature to be < num_features — mandatory when the node
+  /// array came from disk, since Predict indexes the input row by the
+  /// node's feature without a bounds check.
+  Status Validate(int64_t num_features = -1) const;
 
   /// Multi-line indented dump for debugging and golden tests.
   std::string ToString(const std::vector<std::string>& feature_names = {}) const;

@@ -1,10 +1,10 @@
 #include "model/model.h"
 
-#include <fstream>
 #include <map>
 #include <mutex>
-#include <sstream>
 
+#include "util/failpoint.h"
+#include "util/file_io.h"
 #include "util/string_util.h"
 
 namespace mysawh::model {
@@ -43,11 +43,11 @@ std::string Model::SerializeWithKind() const {
 }
 
 Status Model::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  out << SerializeWithKind();
-  if (!out) return Status::IoError("failed writing: " + path);
-  return Status::Ok();
+  MYSAWH_FAILPOINT("model_save/serialize");
+  // Checksummed envelope + write-temp/fsync/rename: a reader can always
+  // tell a good artifact from a torn or bit-flipped one, and a crash
+  // mid-save never clobbers a previously saved model.
+  return WriteFileChecksummed(path, SerializeWithKind(), "model_save");
 }
 
 Result<std::unique_ptr<Model>> Model::Deserialize(const std::string& text) {
@@ -85,11 +85,15 @@ Result<std::unique_ptr<Model>> Model::Deserialize(const std::string& text) {
 }
 
 Result<std::unique_ptr<Model>> Model::LoadFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return Deserialize(buffer.str());
+  MYSAWH_FAILPOINT("model_load/read");
+  MYSAWH_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  if (LooksChecksummed(text)) {
+    // Envelope present: verify before parsing, so corruption surfaces as
+    // DataLoss instead of a confusing parse error (or worse).
+    MYSAWH_ASSIGN_OR_RETURN(text, UnwrapChecksummed(text));
+  }
+  // Files written before the envelope existed parse directly.
+  return Deserialize(text);
 }
 
 void RegisterModelFactory(const std::string& kind, ModelFactory factory) {

@@ -53,7 +53,9 @@ class Model {
   /// Full on-disk form: `kind: <Kind()>` header line + Serialize() payload.
   std::string SerializeWithKind() const;
 
-  /// Writes SerializeWithKind() to `path`.
+  /// Writes SerializeWithKind() to `path` atomically (temp + fsync +
+  /// rename) inside the checksummed `mysawh-artifact v1` envelope, so a
+  /// crash mid-save cannot tear the file and corruption is detectable.
   Status SaveToFile(const std::string& path) const;
 
   /// Parses a `kind:`-headed model text (or a legacy header-less GBT
@@ -61,7 +63,9 @@ class Model {
   /// Status — never crashes — on an unknown kind or malformed payload.
   static Result<std::unique_ptr<Model>> Deserialize(const std::string& text);
 
-  /// Reads `path` and Deserializes it.
+  /// Reads `path` and Deserializes it. Files carrying the checksummed
+  /// envelope are verified first (corruption returns `DataLoss`); files
+  /// written before the envelope existed load directly.
   static Result<std::unique_ptr<Model>> LoadFromFile(const std::string& path);
 };
 

@@ -1,7 +1,9 @@
 #include "util/csv.h"
 
-#include <fstream>
 #include <sstream>
+
+#include "util/failpoint.h"
+#include "util/file_io.h"
 
 namespace mysawh {
 
@@ -87,12 +89,15 @@ Result<CsvDocument> ParseCsv(const std::string& content) {
   return doc;
 }
 
-Result<CsvDocument> ReadCsv(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseCsv(buffer.str());
+Result<CsvDocument> ReadCsv(const std::string& path, bool require_checksum) {
+  MYSAWH_FAILPOINT("csv_read/open");
+  MYSAWH_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  if (LooksChecksummed(content)) {
+    MYSAWH_ASSIGN_OR_RETURN(content, UnwrapChecksummed(content));
+  } else if (require_checksum) {
+    return Status::DataLoss("expected a checksummed CSV artifact: " + path);
+  }
+  return ParseCsv(content);
 }
 
 std::string CsvToString(const CsvDocument& doc) {
@@ -112,17 +117,16 @@ std::string CsvToString(const CsvDocument& doc) {
   return os.str();
 }
 
-Status WriteCsv(const std::string& path, const CsvDocument& doc) {
+Status WriteCsv(const std::string& path, const CsvDocument& doc,
+                bool checksummed) {
   for (const auto& row : doc.rows) {
     if (row.size() != doc.header.size()) {
       return Status::InvalidArgument("CSV row width differs from header");
     }
   }
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  out << CsvToString(doc);
-  if (!out) return Status::IoError("failed writing: " + path);
-  return Status::Ok();
+  const std::string text = CsvToString(doc);
+  return checksummed ? WriteFileChecksummed(path, text, "csv_write")
+                     : WriteFileAtomic(path, text, "csv_write");
 }
 
 }  // namespace mysawh

@@ -1,0 +1,175 @@
+#include "util/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace mysawh {
+
+namespace {
+
+/// Error injected when a failpoint fires. IoError is the category real
+/// fault sites (file writes, renames, reads) would produce.
+Status InjectedError(const std::string& site, int err_no) {
+  std::string msg = "injected failure at failpoint '" + site + "'";
+  if (err_no != 0) {
+    msg += " (errno " + std::to_string(err_no) + ": " +
+           std::strerror(err_no) + ")";
+  }
+  return Status::IoError(std::move(msg));
+}
+
+}  // namespace
+
+Result<FailpointSpec> FailpointSpec::Parse(const std::string& text) {
+  FailpointSpec spec;
+  bool have_mode = false;
+  for (const std::string& raw : Split(text, ',')) {
+    const std::string part = Trim(raw);
+    if (part == "once") {
+      spec.mode = Mode::kOnce;
+      spec.n = 1;
+      have_mode = true;
+    } else if (part == "always") {
+      spec.mode = Mode::kAlways;
+      spec.n = 1;
+      have_mode = true;
+    } else if (StartsWith(part, "nth:") || StartsWith(part, "from:") ||
+               StartsWith(part, "every:")) {
+      const size_t colon = part.find(':');
+      MYSAWH_ASSIGN_OR_RETURN(int64_t k, ParseInt64(part.substr(colon + 1)));
+      if (k < 1) {
+        return Status::InvalidArgument("failpoint count must be >= 1: " +
+                                       part);
+      }
+      spec.n = k;
+      spec.mode = StartsWith(part, "nth:")    ? Mode::kNth
+                  : StartsWith(part, "from:") ? Mode::kFromNth
+                                              : Mode::kEveryN;
+      have_mode = true;
+    } else if (StartsWith(part, "errno:")) {
+      MYSAWH_ASSIGN_OR_RETURN(int64_t e, ParseInt64(part.substr(6)));
+      if (e < 1) {
+        return Status::InvalidArgument("failpoint errno must be >= 1: " +
+                                       part);
+      }
+      spec.err_no = static_cast<int>(e);
+      // errno alone means "always fail, with this errno".
+      if (!have_mode) spec.mode = Mode::kAlways;
+    } else {
+      return Status::InvalidArgument("unknown failpoint spec part: '" + part +
+                                     "' in '" + text + "'");
+    }
+  }
+  if (!have_mode && spec.err_no == 0) {
+    return Status::InvalidArgument("empty failpoint spec: '" + text + "'");
+  }
+  return spec;
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry;
+  return *registry;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  const char* env = std::getenv("MYSAWH_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  for (const std::string& entry : Split(env, ';')) {
+    if (Trim(entry).empty()) continue;
+    const Status st = EnableFromString(entry);
+    if (!st.ok()) {
+      std::fprintf(stderr, "MYSAWH_FAILPOINTS: ignoring entry: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+}
+
+void FailpointRegistry::Enable(const std::string& site, FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    if (name == site) {
+      entry = Entry{spec, 0};
+      return;
+    }
+  }
+  entries_.emplace_back(site, Entry{spec, 0});
+  armed_count_.store(static_cast<int64_t>(entries_.size()),
+                     std::memory_order_release);
+}
+
+Status FailpointRegistry::EnableFromString(const std::string& entry) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument("failpoint entry needs 'site=spec': '" +
+                                   entry + "'");
+  }
+  const std::string site = Trim(entry.substr(0, eq));
+  if (site.empty()) {
+    return Status::InvalidArgument("empty failpoint site in '" + entry + "'");
+  }
+  MYSAWH_ASSIGN_OR_RETURN(FailpointSpec spec,
+                          FailpointSpec::Parse(entry.substr(eq + 1)));
+  Enable(site, spec);
+  return Status::Ok();
+}
+
+void FailpointRegistry::Disable(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].first == site) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  armed_count_.store(static_cast<int64_t>(entries_.size()),
+                     std::memory_order_release);
+}
+
+void FailpointRegistry::DisableAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  armed_count_.store(0, std::memory_order_release);
+}
+
+int64_t FailpointRegistry::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : entries_) {
+    if (name == site) return entry.hits;
+  }
+  return 0;
+}
+
+std::optional<Status> FailpointRegistry::Check(const char* site) {
+  if (!AnyArmed()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    if (name != site) continue;
+    const int64_t hit = ++entry.hits;
+    bool fire = false;
+    switch (entry.spec.mode) {
+      case FailpointSpec::Mode::kOnce:
+        fire = hit == 1;
+        break;
+      case FailpointSpec::Mode::kNth:
+        fire = hit == entry.spec.n;
+        break;
+      case FailpointSpec::Mode::kFromNth:
+        fire = hit >= entry.spec.n;
+        break;
+      case FailpointSpec::Mode::kEveryN:
+        fire = hit % entry.spec.n == 0;
+        break;
+      case FailpointSpec::Mode::kAlways:
+        fire = true;
+        break;
+    }
+    if (!fire) return std::nullopt;
+    return InjectedError(name, entry.spec.err_no);
+  }
+  return std::nullopt;
+}
+
+}  // namespace mysawh

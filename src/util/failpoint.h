@@ -1,0 +1,142 @@
+#ifndef MYSAWH_UTIL_FAILPOINT_H_
+#define MYSAWH_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mysawh {
+
+/// Deterministic fault injection for robustness tests.
+///
+/// A *failpoint* is a named site in library code where a test (or the
+/// `MYSAWH_FAILPOINTS` environment variable) can inject a failure. Sites
+/// are compiled into every build; an unarmed site costs one relaxed atomic
+/// load, so production code pays essentially nothing.
+///
+/// Usage at a site inside a Status/Result-returning function:
+///
+///   Status Model::SaveToFile(...) {
+///     MYSAWH_FAILPOINT("model_save/serialize");
+///     ...
+///   }
+///
+/// Arming from a test:
+///
+///   FailpointRegistry::Global().Enable("model_save/serialize",
+///                                      FailpointSpec::Once());
+///
+/// Arming from the environment (parsed once, at first registry use):
+///
+///   MYSAWH_FAILPOINTS="model_save/rename=once;csv_read/open=every:3"
+///
+/// Spec grammar (the value after `site=`):
+///   once         fail on the next hit only
+///   nth:K        fail on exactly the K-th hit (1-based), once
+///   from:K       fail on the K-th hit and every later one (simulates a
+///                process that dies at hit K and never comes back)
+///   every:N      fail on every N-th hit (hit N, 2N, 3N, ...)
+///   always       fail on every hit
+/// any of which may carry `,errno:E` to attach an errno to the message.
+struct FailpointSpec {
+  enum class Mode { kOnce, kNth, kFromNth, kEveryN, kAlways };
+
+  Mode mode = Mode::kOnce;
+  /// K for kNth/kFromNth, period N for kEveryN. 1-based.
+  int64_t n = 1;
+  /// When nonzero, appended to the injected error message as errno text.
+  int err_no = 0;
+
+  static FailpointSpec Once() { return {}; }
+  static FailpointSpec Nth(int64_t k) { return {Mode::kNth, k, 0}; }
+  static FailpointSpec FromNth(int64_t k) { return {Mode::kFromNth, k, 0}; }
+  static FailpointSpec EveryN(int64_t period) {
+    return {Mode::kEveryN, period, 0};
+  }
+  static FailpointSpec Always() { return {Mode::kAlways, 1, 0}; }
+
+  /// Parses the spec grammar above ("once", "nth:3,errno:5", ...).
+  static Result<FailpointSpec> Parse(const std::string& text);
+};
+
+/// Process-wide registry of armed failpoints. Thread-safe: sites are hit
+/// from worker threads while tests arm/disarm from the main thread.
+class FailpointRegistry {
+ public:
+  /// The process-wide registry. On first use, parses the
+  /// `MYSAWH_FAILPOINTS` environment variable (invalid entries are
+  /// reported to stderr and skipped; a misspelled injection must never
+  /// silently arm nothing in a release binary either).
+  static FailpointRegistry& Global();
+
+  /// Arms `site` with `spec`, resetting its hit counter. Re-arming an
+  /// armed site replaces its spec.
+  void Enable(const std::string& site, FailpointSpec spec);
+
+  /// Parses and arms one `site=spec` entry.
+  Status EnableFromString(const std::string& entry);
+
+  /// Disarms `site`. Hit counts for the site are forgotten.
+  void Disable(const std::string& site);
+
+  /// Disarms every site (used by test fixtures between cases).
+  void DisableAll();
+
+  /// How many times an *armed* `site` has been evaluated since arming
+  /// (both triggering and non-triggering hits). 0 for unarmed sites.
+  int64_t HitCount(const std::string& site) const;
+
+  /// Evaluates one hit of `site`. Returns the injected error when the
+  /// site's spec says this hit fails, std::nullopt to proceed normally.
+  /// Unarmed sites return std::nullopt without taking the lock.
+  std::optional<Status> Check(const char* site);
+
+  /// True when `Check(site)` would return an error (convenience for void
+  /// contexts such as the thread pool dispatch path). Counts as a hit.
+  bool ShouldFail(const char* site) { return Check(site).has_value(); }
+
+  /// True when at least one site is armed (lock-free fast path).
+  bool AnyArmed() const {
+    return armed_count_.load(std::memory_order_acquire) > 0;
+  }
+
+ private:
+  FailpointRegistry();
+
+  struct Entry {
+    FailpointSpec spec;
+    int64_t hits = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, Entry>> entries_;
+  std::atomic<int64_t> armed_count_{0};
+};
+
+/// Evaluates the named failpoint and, when it triggers, returns the
+/// injected error out of the enclosing function. Works in any function
+/// returning `Status` or `Result<T>`.
+#define MYSAWH_FAILPOINT(site)                                          \
+  do {                                                                  \
+    if (::mysawh::FailpointRegistry::Global().AnyArmed()) {             \
+      if (auto _mysawh_fp =                                             \
+              ::mysawh::FailpointRegistry::Global().Check(site)) {      \
+        return *std::move(_mysawh_fp);                                  \
+      }                                                                 \
+    }                                                                   \
+  } while (false)
+
+/// Non-returning form for void contexts: evaluates to true when the site
+/// triggers. The caller decides how to simulate the failure.
+#define MYSAWH_FAILPOINT_TRIGGERED(site)                 \
+  (::mysawh::FailpointRegistry::Global().AnyArmed() &&   \
+   ::mysawh::FailpointRegistry::Global().ShouldFail(site))
+
+}  // namespace mysawh
+
+#endif  // MYSAWH_UTIL_FAILPOINT_H_

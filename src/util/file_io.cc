@@ -1,0 +1,227 @@
+#include "util/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/failpoint.h"
+#include "util/string_util.h"
+
+namespace mysawh {
+
+namespace {
+
+constexpr const char kEnvelopeMagic[] = "mysawh-artifact v1 ";
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+/// Directory part of `path` ("." when the path has no separator).
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// Flushes a directory entry update to disk; best-effort on filesystems
+/// that reject O_DIRECTORY fsync (reported as IoError only when the open
+/// itself succeeds and fsync then fails).
+Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::Ok();  // e.g. unusual FS; rename already done
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved_errno;
+    return Status::IoError(ErrnoMessage("fsync directory", dir));
+  }
+  return Status::Ok();
+}
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::string Crc32Hex(uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  MYSAWH_FAILPOINT("file_read/open");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("failed reading: " + path);
+  return buffer.str();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& content,
+                       const std::string& failpoint_prefix) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  auto site = [&](const char* step) { return failpoint_prefix + "/" + step; };
+
+  auto fail = [&](Status status) {
+    ::unlink(tmp.c_str());
+    return status;
+  };
+
+  if (auto fp = FailpointRegistry::Global().Check(site("open").c_str())) {
+    return *fp;
+  }
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("cannot open", tmp));
+
+  if (auto fp = FailpointRegistry::Global().Check(site("write").c_str())) {
+    ::close(fd);
+    return fail(*fp);
+  }
+  size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + written,
+                              content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Status::IoError(ErrnoMessage("failed writing", tmp));
+      ::close(fd);
+      return fail(st);
+    }
+    written += static_cast<size_t>(n);
+  }
+
+  if (auto fp = FailpointRegistry::Global().Check(site("fsync").c_str())) {
+    ::close(fd);
+    return fail(*fp);
+  }
+  if (::fsync(fd) != 0) {
+    const Status st = Status::IoError(ErrnoMessage("fsync", tmp));
+    ::close(fd);
+    return fail(st);
+  }
+  if (::close(fd) != 0) {
+    return fail(Status::IoError(ErrnoMessage("close", tmp)));
+  }
+
+  if (auto fp = FailpointRegistry::Global().Check(site("rename").c_str())) {
+    return fail(*fp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail(Status::IoError(ErrnoMessage("rename to", path)));
+  }
+  return FsyncDir(DirName(path));
+}
+
+uint32_t Crc32(const void* data, size_t size) {
+  const auto& table = Crc32Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const std::string& data) {
+  return Crc32(data.data(), data.size());
+}
+
+std::string WrapChecksummed(const std::string& payload) {
+  return std::string(kEnvelopeMagic) + "crc32=" + Crc32Hex(Crc32(payload)) +
+         " bytes=" + std::to_string(payload.size()) + "\n" + payload;
+}
+
+bool LooksChecksummed(const std::string& text) {
+  // Match on the magic word alone: a truncated-inside-the-header artifact
+  // must still be recognized as (a corrupt) envelope, not fall through to
+  // a permissive plain-text parser.
+  return StartsWith(text, "mysawh-artifact");
+}
+
+Result<std::string> UnwrapChecksummed(const std::string& text) {
+  if (!LooksChecksummed(text)) {
+    return Status::DataLoss("not a checksummed artifact (missing '" +
+                            std::string(kEnvelopeMagic) + "' header)");
+  }
+  const size_t newline = text.find('\n');
+  if (newline == std::string::npos) {
+    return Status::DataLoss("checksummed artifact truncated inside header");
+  }
+  const std::string header = text.substr(0, newline);
+  if (!StartsWith(header, kEnvelopeMagic)) {
+    return Status::DataLoss("corrupt artifact header: " + header);
+  }
+  const auto fields = Split(header.substr(sizeof(kEnvelopeMagic) - 1), ' ');
+  if (fields.size() != 2 || !StartsWith(fields[0], "crc32=") ||
+      !StartsWith(fields[1], "bytes=")) {
+    return Status::DataLoss("corrupt artifact header: " + header);
+  }
+  const std::string crc_hex = fields[0].substr(6);
+  if (crc_hex.size() != 8 ||
+      crc_hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return Status::DataLoss("corrupt artifact crc field: " + header);
+  }
+  uint32_t expected_crc = 0;
+  for (char c : crc_hex) {
+    expected_crc = expected_crc * 16 +
+                   static_cast<uint32_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+  }
+  const auto parsed_bytes = ParseInt64(fields[1].substr(6));
+  if (!parsed_bytes.ok() || *parsed_bytes < 0) {
+    return Status::DataLoss("corrupt artifact bytes field: " + header);
+  }
+  const int64_t expected_bytes = *parsed_bytes;
+  const std::string payload = text.substr(newline + 1);
+  if (static_cast<int64_t>(payload.size()) != expected_bytes) {
+    return Status::DataLoss(
+        "artifact length mismatch: header says " +
+        std::to_string(expected_bytes) + " bytes, file has " +
+        std::to_string(payload.size()) +
+        " (truncated or garbage-appended)");
+  }
+  const uint32_t actual_crc = Crc32(payload);
+  if (actual_crc != expected_crc) {
+    return Status::DataLoss("artifact checksum mismatch: header crc32=" +
+                            Crc32Hex(expected_crc) + ", payload crc32=" +
+                            Crc32Hex(actual_crc));
+  }
+  return payload;
+}
+
+Status WriteFileChecksummed(const std::string& path,
+                            const std::string& payload,
+                            const std::string& failpoint_prefix) {
+  return WriteFileAtomic(path, WrapChecksummed(payload), failpoint_prefix);
+}
+
+Result<std::string> ReadFileChecksummed(const std::string& path) {
+  MYSAWH_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return UnwrapChecksummed(text);
+}
+
+}  // namespace mysawh
+

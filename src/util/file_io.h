@@ -1,0 +1,65 @@
+#ifndef MYSAWH_UTIL_FILE_IO_H_
+#define MYSAWH_UTIL_FILE_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace mysawh {
+
+/// Crash-safe, corruption-detecting file I/O. Every artifact the pipeline
+/// persists (models, CSV exports, study checkpoints, REPORT.md) goes
+/// through these helpers so that
+///   * a crash mid-write never leaves a torn file at the destination
+///     (write temp -> fsync -> atomic rename -> fsync directory), and
+///   * a bit-flipped / truncated artifact is detected at read time via a
+///     CRC32-checksummed envelope, yielding a clean `DataLoss` status
+///     instead of undefined behaviour downstream.
+
+/// Reads the whole file. IoError when the file cannot be opened or read.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically replaces `path` with `content`: writes `path`.tmp.<pid>,
+/// fsyncs it, renames it over `path`, and fsyncs the parent directory. On
+/// any failure the destination keeps its previous content (or stays
+/// absent) and the temp file is removed.
+///
+/// `failpoint_prefix` names the injectable fault sites of this write:
+/// "<prefix>/open", "<prefix>/write", "<prefix>/fsync", "<prefix>/rename".
+Status WriteFileAtomic(const std::string& path, const std::string& content,
+                       const std::string& failpoint_prefix = "file_io");
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG one) of `size` bytes.
+uint32_t Crc32(const void* data, size_t size);
+uint32_t Crc32(const std::string& data);
+
+/// Wraps `payload` in the versioned checksummed artifact envelope:
+///
+///   mysawh-artifact v1 crc32=XXXXXXXX bytes=N\n<payload>
+///
+/// where XXXXXXXX is the zero-padded lowercase hex CRC32 of the payload
+/// and N its exact byte length.
+std::string WrapChecksummed(const std::string& payload);
+
+/// True when `text` begins with the envelope magic. A true result does not
+/// imply the envelope is valid — UnwrapChecksummed still verifies it.
+bool LooksChecksummed(const std::string& text);
+
+/// Verifies and strips the envelope. Returns the payload, or `DataLoss`
+/// when the header is malformed, the length differs (truncation, appended
+/// garbage) or the CRC32 does not match (bit corruption).
+Result<std::string> UnwrapChecksummed(const std::string& text);
+
+/// Convenience: WrapChecksummed + WriteFileAtomic.
+Status WriteFileChecksummed(const std::string& path,
+                            const std::string& payload,
+                            const std::string& failpoint_prefix = "file_io");
+
+/// Convenience: ReadFileToString + UnwrapChecksummed (envelope required).
+Result<std::string> ReadFileChecksummed(const std::string& path);
+
+}  // namespace mysawh
+
+#endif  // MYSAWH_UTIL_FILE_IO_H_

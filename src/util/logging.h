@@ -63,6 +63,17 @@ class NullStream {
 
 /// Aborts with a message when `condition` is false. Active in all builds:
 /// invariant violations in a data pipeline must never be silently ignored.
+///
+/// Abort-vs-Status policy. A CHECK is for *programmer* invariants only —
+/// conditions no input reaching this code can make false, because a public
+/// boundary already validated it (CohortConfig::Validate guards the rng.cc
+/// distribution-parameter CHECKs; TreeShap's constructor null-model CHECK is
+/// an API contract). Anything an input file, CLI flag, or on-disk artifact
+/// can influence must return a Status instead: deserializers validate
+/// structure (tree.cc Validate), readers surface DataLoss on corruption
+/// (util/file_io.h), and renderers record malformed rows rather than abort
+/// (util/table_printer.h). When in doubt, return Status — an abort in a
+/// long-running study run destroys work a Status would have checkpointed.
 #define MYSAWH_CHECK(condition)                                         \
   if (!(condition))                                                     \
   ::mysawh::internal_logging::LogMessage(::mysawh::LogLevel::kFatal,    \

@@ -4,6 +4,12 @@
 
 #include "util/logging.h"
 
+// The distribution-parameter CHECKs below are programmer invariants, not
+// input validation: user-supplied parameters enter through
+// CohortConfig::Validate (and the other config Validate methods), which
+// rejects bad ranges with a Status before any sampler runs. See the
+// abort-vs-Status policy in util/logging.h.
+
 namespace mysawh {
 
 namespace {

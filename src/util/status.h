@@ -20,6 +20,7 @@ enum class StatusCode {
   kIoError = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  kDataLoss = 9,
 };
 
 /// Returns the canonical lowercase name of `code` (e.g. "invalid argument").
@@ -78,6 +79,12 @@ class Status {
   /// An invariant was violated; indicates a bug in this library.
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Stored data is unrecoverably corrupt (checksum mismatch, truncated
+  /// artifact). Distinct from kIoError so callers can tell "retry/IO
+  /// problem" apart from "this artifact must be regenerated".
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

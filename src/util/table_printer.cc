@@ -1,9 +1,9 @@
 #include "util/table_printer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
-#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace mysawh {
@@ -12,7 +12,15 @@ TablePrinter::TablePrinter(std::vector<std::string> header)
     : header_(std::move(header)) {}
 
 void TablePrinter::AddRow(std::vector<std::string> row) {
-  MYSAWH_CHECK_EQ(row.size(), header_.size());
+  if (row.size() != header_.size()) {
+    ++dropped_rows_;
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument(
+          "row width " + std::to_string(row.size()) + " != header width " +
+          std::to_string(header_.size()));
+    }
+    return;
+  }
   rows_.push_back(std::move(row));
 }
 
@@ -43,24 +51,41 @@ std::string TablePrinter::ToString() const {
     out += row.empty() ? render_rule() : render_row(row);
   }
   out += render_rule();
+  if (!status_.ok()) {
+    out += "[table error: dropped " + std::to_string(dropped_rows_) +
+           " malformed row(s); first: " + status_.message() + "]\n";
+  }
   return out;
 }
 
-std::string RenderBarChart(const std::vector<std::string>& labels,
-                           const std::vector<double>& values, int max_width) {
-  MYSAWH_CHECK_EQ(labels.size(), values.size());
+Result<std::string> RenderBarChart(const std::vector<std::string>& labels,
+                                   const std::vector<double>& values,
+                                   int max_width) {
+  if (labels.size() != values.size()) {
+    return Status::InvalidArgument(
+        "bar chart needs one label per value: " +
+        std::to_string(labels.size()) + " labels, " +
+        std::to_string(values.size()) + " values");
+  }
+  if (max_width < 0) {
+    return Status::InvalidArgument("negative bar chart max_width");
+  }
   double max_value = 0.0;
   size_t label_width = 0;
   for (size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      return Status::InvalidArgument("non-finite bar chart value at index " +
+                                     std::to_string(i));
+    }
     max_value = std::max(max_value, values[i]);
     label_width = std::max(label_width, labels[i].size());
   }
   std::ostringstream os;
   for (size_t i = 0; i < values.size(); ++i) {
-    const int width =
-        max_value > 0
-            ? static_cast<int>(values[i] / max_value * max_width + 0.5)
-            : 0;
+    int width = max_value > 0
+                    ? static_cast<int>(values[i] / max_value * max_width + 0.5)
+                    : 0;
+    width = std::clamp(width, 0, max_width);
     os << labels[i] << std::string(label_width - labels[i].size(), ' ')
        << " | " << std::string(static_cast<size_t>(width), '#') << " "
        << FormatDouble(values[i], 4) << "\n";

@@ -4,36 +4,51 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace mysawh {
 
 /// Renders aligned monospace tables for the benchmark harness, so each bench
 /// binary prints the same rows the paper's tables/figures report.
+///
+/// Malformed input (a row whose width differs from the header's) is recorded
+/// instead of aborting: the row is dropped, `status()` reports the first
+/// mistake, and ToString() appends a visible error note — a bench with a
+/// bad row still prints its good rows.
 class TablePrinter {
  public:
   /// Creates a table with the given column headers.
   explicit TablePrinter(std::vector<std::string> header);
 
-  /// Appends a data row; width must equal the header width.
+  /// Appends a data row. A row whose width differs from the header's is
+  /// dropped and recorded in status().
   void AddRow(std::vector<std::string> row);
 
   /// Inserts a horizontal separator line at this position.
   void AddSeparator();
 
-  /// Renders with column padding and a header rule.
+  /// First error recorded by AddRow; Ok when every row matched the header.
+  const Status& status() const { return status_; }
+
+  /// Renders with column padding and a header rule. When rows were dropped,
+  /// the rendering ends with an error note naming the first mistake.
   std::string ToString() const;
 
  private:
   std::vector<std::string> header_;
   // Separator rows are encoded as empty vectors.
   std::vector<std::vector<std::string>> rows_;
+  Status status_;
+  int64_t dropped_rows_ = 0;
 };
 
 /// Renders a labelled horizontal ASCII bar chart (used by benches that
 /// reproduce histogram figures). `max_width` is the bar length of the
-/// largest value.
-std::string RenderBarChart(const std::vector<std::string>& labels,
-                           const std::vector<double>& values,
-                           int max_width = 50);
+/// largest value. Fails with InvalidArgument when the label and value
+/// counts differ, `max_width` is negative, or a value is not finite.
+Result<std::string> RenderBarChart(const std::vector<std::string>& labels,
+                                   const std::vector<double>& values,
+                                   int max_width = 50);
 
 }  // namespace mysawh
 

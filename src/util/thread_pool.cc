@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
+
 namespace mysawh {
+
+namespace {
+
+/// Fault site of the dispatch path. When armed (tests only), a triggering
+/// hit drops the task *body* while still accounting its completion, which
+/// models "a task died without producing its result": Wait()/ParallelFor
+/// return normally, consumers observe the missing result through their own
+/// Status slots, and the pool stays healthy for subsequent rounds.
+bool TaskDropped() { return MYSAWH_FAILPOINT_TRIGGERED("thread_pool/task"); }
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(0, num_threads <= 1 ? 0 : num_threads);
@@ -23,7 +36,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
-    task();
+    if (!TaskDropped()) task();
     return;
   }
   {
@@ -44,6 +57,9 @@ void ThreadPool::ParallelFor(int64_t count,
                              const std::function<void(int64_t)>& fn) {
   if (count <= 0) return;
   if (workers_.empty()) {
+    // One dispatch per chunk-equivalent would be ambiguous inline; treat
+    // the whole inline range as one dispatched task, mirroring Submit.
+    if (TaskDropped()) return;
     for (int64_t i = 0; i < count; ++i) fn(i);
     return;
   }
@@ -65,6 +81,7 @@ void ThreadPool::ParallelForChunks(
         fn) {
   if (count <= 0 || chunk_size <= 0) return;
   if (workers_.empty()) {
+    if (TaskDropped()) return;
     int64_t chunk = 0;
     for (int64_t begin = 0; begin < count; begin += chunk_size, ++chunk) {
       fn(chunk, begin, std::min(begin + chunk_size, count));
@@ -96,7 +113,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    if (!TaskDropped()) task();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;

@@ -15,6 +15,12 @@ namespace mysawh {
 /// and batch prediction. With `num_threads <= 1` all work runs inline on the
 /// calling thread, which keeps single-core environments overhead-free and
 /// makes results trivially deterministic.
+///
+/// Fault injection: the dispatch path hits the `thread_pool/task`
+/// failpoint once per dispatched task (once per inline ParallelFor* call).
+/// A triggering hit drops the task body but still accounts its completion,
+/// so robustness tests can prove that a dying task neither deadlocks
+/// Wait()/ParallelFor nor poisons later rounds on the same pool.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (0 or 1 means inline execution).

@@ -73,4 +73,27 @@ test "$(wc -l < preds_gam.csv)" -eq "$rows"
 code_of "$CLI" explain --model smoke_linear.model --data smoke_dd_fi.csv
 test "$code" -eq 1 || { echo "explain on linear must exit 1, got $code" >&2; exit 1; }
 
+# --- corrupt input is detected and rejected with exit 2, never a crash ----
+# A truncated model file fails its CRC32 envelope check (kDataLoss).
+head -c "$(( $(wc -c < smoke.model) / 2 ))" smoke.model > truncated.model
+code_of "$CLI" evaluate --model truncated.model --data smoke_dd_fi.csv
+test "$code" -eq 2 || { echo "truncated model must exit 2, got $code" >&2; exit 1; }
+
+# Trailing garbage breaks the envelope's byte count, too.
+{ cat smoke.model; printf 'trailing garbage'; } > padded.model
+code_of "$CLI" predict --model padded.model --data smoke_dd_fi.csv
+test "$code" -eq 2 || { echo "padded model must exit 2, got $code" >&2; exit 1; }
+
+# A malformed CSV (ragged row) is an invalid-input error (kInvalidArgument).
+printf 'a,b\n1,2\n3,4,5\n' > malformed.csv
+code_of "$CLI" predict --model smoke.model --data malformed.csv
+test "$code" -eq 2 || { echo "malformed csv must exit 2, got $code" >&2; exit 1; }
+
+# --- study checkpoint/resume ----------------------------------------------
+# Not run here (a full 12-cell study is too slow for the smoke test); the
+# resume contract is covered by tests/checkpoint_resume_test.cc, and the
+# --resume flag contract is cheap to check:
+code_of "$CLI" study --resume
+test "$code" -eq 2 || { echo "--resume without dir must exit 2, got $code" >&2; exit 1; }
+
 echo "cli smoke test passed"

@@ -1,0 +1,151 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <thread>
+#include <vector>
+
+namespace mysawh {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().DisableAll(); }
+};
+
+Status GuardedOperation(const char* site) {
+  MYSAWH_FAILPOINT(site);
+  return Status::Ok();
+}
+
+TEST_F(FailpointTest, UnarmedSiteNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(GuardedOperation("never/armed").ok());
+  }
+  EXPECT_EQ(FailpointRegistry::Global().HitCount("never/armed"), 0);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnce) {
+  auto& registry = FailpointRegistry::Global();
+  registry.Enable("fp/once", FailpointSpec::Once());
+  EXPECT_FALSE(GuardedOperation("fp/once").ok());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(GuardedOperation("fp/once").ok());
+  EXPECT_EQ(registry.HitCount("fp/once"), 11);
+}
+
+TEST_F(FailpointTest, NthFiresOnExactHit) {
+  auto& registry = FailpointRegistry::Global();
+  registry.Enable("fp/nth", FailpointSpec::Nth(3));
+  EXPECT_TRUE(GuardedOperation("fp/nth").ok());
+  EXPECT_TRUE(GuardedOperation("fp/nth").ok());
+  EXPECT_FALSE(GuardedOperation("fp/nth").ok());
+  EXPECT_TRUE(GuardedOperation("fp/nth").ok());
+}
+
+TEST_F(FailpointTest, FromNthFiresForeverAfter) {
+  auto& registry = FailpointRegistry::Global();
+  registry.Enable("fp/from", FailpointSpec::FromNth(2));
+  EXPECT_TRUE(GuardedOperation("fp/from").ok());
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(GuardedOperation("fp/from").ok());
+}
+
+TEST_F(FailpointTest, EveryNFiresPeriodically) {
+  auto& registry = FailpointRegistry::Global();
+  registry.Enable("fp/every", FailpointSpec::EveryN(3));
+  int failures = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (!GuardedOperation("fp/every").ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 3);  // hits 3, 6, 9
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryTime) {
+  FailpointRegistry::Global().Enable("fp/always", FailpointSpec::Always());
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(GuardedOperation("fp/always").ok());
+}
+
+TEST_F(FailpointTest, InjectedStatusIsIoErrorNamingTheSite) {
+  FailpointRegistry::Global().Enable("fp/named", FailpointSpec::Once());
+  const Status status = GuardedOperation("fp/named");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("fp/named"), std::string::npos);
+}
+
+TEST_F(FailpointTest, ErrnoAttachedToMessage) {
+  FailpointSpec spec = FailpointSpec::Always();
+  spec.err_no = ENOSPC;
+  FailpointRegistry::Global().Enable("fp/errno", spec);
+  const Status status = GuardedOperation("fp/errno");
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("No space left"), std::string::npos);
+}
+
+TEST_F(FailpointTest, DisableAndRearmResetsHitCount) {
+  auto& registry = FailpointRegistry::Global();
+  registry.Enable("fp/rearm", FailpointSpec::Nth(2));
+  EXPECT_TRUE(GuardedOperation("fp/rearm").ok());
+  registry.Disable("fp/rearm");
+  EXPECT_EQ(registry.HitCount("fp/rearm"), 0);
+  // Hits while disarmed do not count.
+  EXPECT_TRUE(GuardedOperation("fp/rearm").ok());
+  registry.Enable("fp/rearm", FailpointSpec::Nth(2));
+  EXPECT_TRUE(GuardedOperation("fp/rearm").ok());
+  EXPECT_FALSE(GuardedOperation("fp/rearm").ok());
+}
+
+TEST_F(FailpointTest, ParseGrammar) {
+  EXPECT_EQ(FailpointSpec::Parse("once")->mode, FailpointSpec::Mode::kOnce);
+  EXPECT_EQ(FailpointSpec::Parse("always")->mode,
+            FailpointSpec::Mode::kAlways);
+  auto nth = FailpointSpec::Parse("nth:7");
+  ASSERT_TRUE(nth.ok());
+  EXPECT_EQ(nth->mode, FailpointSpec::Mode::kNth);
+  EXPECT_EQ(nth->n, 7);
+  auto from = FailpointSpec::Parse("from:4");
+  ASSERT_TRUE(from.ok());
+  EXPECT_EQ(from->mode, FailpointSpec::Mode::kFromNth);
+  EXPECT_EQ(from->n, 4);
+  auto every = FailpointSpec::Parse("every:2,errno:28");
+  ASSERT_TRUE(every.ok());
+  EXPECT_EQ(every->mode, FailpointSpec::Mode::kEveryN);
+  EXPECT_EQ(every->n, 2);
+  EXPECT_EQ(every->err_no, 28);
+
+  EXPECT_FALSE(FailpointSpec::Parse("").ok());
+  EXPECT_FALSE(FailpointSpec::Parse("nth:").ok());
+  EXPECT_FALSE(FailpointSpec::Parse("nth:0").ok());
+  EXPECT_FALSE(FailpointSpec::Parse("sometimes").ok());
+}
+
+TEST_F(FailpointTest, EnableFromStringArmsSite) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.EnableFromString("fp/env=nth:2").ok());
+  EXPECT_TRUE(GuardedOperation("fp/env").ok());
+  EXPECT_FALSE(GuardedOperation("fp/env").ok());
+  EXPECT_FALSE(registry.EnableFromString("missing-equals").ok());
+  EXPECT_FALSE(registry.EnableFromString("fp/env=bogus").ok());
+}
+
+TEST_F(FailpointTest, ConcurrentHitsFireExactlyOncePerPeriod) {
+  auto& registry = FailpointRegistry::Global();
+  registry.Enable("fp/concurrent", FailpointSpec::EveryN(10));
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        if (!GuardedOperation("fp/concurrent").ok()) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // 100 hits at period 10 -> exactly 10 injected failures, regardless of
+  // interleaving: the hit counter is advanced under the registry lock.
+  EXPECT_EQ(failures.load(), 10);
+  EXPECT_EQ(registry.HitCount("fp/concurrent"), 100);
+}
+
+}  // namespace
+}  // namespace mysawh

@@ -1,0 +1,140 @@
+#include "util/file_io.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/failpoint.h"
+
+namespace mysawh {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mysawh_file_io_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    FailpointRegistry::Global().DisableAll();
+    fs::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(FileIoTest, AtomicWriteRoundTrips) {
+  const std::string path = Path("plain.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "hello\nworld\n").ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "hello\nworld\n");
+  // No temp file lingers.
+  int entries = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir_)) ++entries;
+  EXPECT_EQ(entries, 1);
+}
+
+TEST_F(FileIoTest, ReadMissingFileIsIoError) {
+  auto read = ReadFileToString(Path("absent.txt"));
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(FileIoTest, Crc32MatchesKnownVectors) {
+  // The classic check value of CRC-32/ISO-HDLC.
+  EXPECT_EQ(Crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string("")), 0x00000000u);
+}
+
+TEST_F(FileIoTest, ChecksummedEnvelopeRoundTrips) {
+  const std::string payload = "line one\nline two\n";
+  const std::string wrapped = WrapChecksummed(payload);
+  EXPECT_TRUE(LooksChecksummed(wrapped));
+  EXPECT_FALSE(LooksChecksummed(payload));
+  auto unwrapped = UnwrapChecksummed(wrapped);
+  ASSERT_TRUE(unwrapped.ok());
+  EXPECT_EQ(*unwrapped, payload);
+}
+
+TEST_F(FileIoTest, ChecksummedFileRoundTrips) {
+  const std::string path = Path("artifact.txt");
+  ASSERT_TRUE(WriteFileChecksummed(path, "payload data\n").ok());
+  auto read = ReadFileChecksummed(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "payload data\n");
+}
+
+TEST_F(FileIoTest, CorruptEnvelopeIsDataLoss) {
+  std::string wrapped = WrapChecksummed("some payload bytes");
+  // Flip one payload bit.
+  std::string flipped = wrapped;
+  flipped[flipped.size() - 3] ^= 0x10;
+  EXPECT_EQ(UnwrapChecksummed(flipped).status().code(), StatusCode::kDataLoss);
+  // Truncate.
+  EXPECT_EQ(UnwrapChecksummed(wrapped.substr(0, wrapped.size() - 1))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+  // Truncate inside the header.
+  EXPECT_EQ(UnwrapChecksummed(wrapped.substr(0, 10)).status().code(),
+            StatusCode::kDataLoss);
+  // Appended garbage.
+  EXPECT_EQ(UnwrapChecksummed(wrapped + "extra").status().code(),
+            StatusCode::kDataLoss);
+  // Not an envelope at all.
+  EXPECT_EQ(UnwrapChecksummed("plain text").status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_F(FileIoTest, FailedWriteLeavesPreviousContentAndNoTemp) {
+  const std::string path = Path("kept.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "original").ok());
+  for (const char* site :
+       {"file_io/open", "file_io/write", "file_io/fsync", "file_io/rename"}) {
+    FailpointRegistry::Global().Enable(site, FailpointSpec::Once());
+    const Status status = WriteFileAtomic(path, "replacement");
+    EXPECT_FALSE(status.ok()) << site;
+    FailpointRegistry::Global().DisableAll();
+    auto read = ReadFileToString(path);
+    ASSERT_TRUE(read.ok()) << site;
+    EXPECT_EQ(*read, "original") << site;
+    int entries = 0;
+    for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir_)) {
+      ++entries;
+    }
+    EXPECT_EQ(entries, 1) << "temp file leaked at " << site;
+  }
+  // With no failpoint armed, the same write goes through.
+  ASSERT_TRUE(WriteFileAtomic(path, "replacement").ok());
+  EXPECT_EQ(*ReadFileToString(path), "replacement");
+}
+
+TEST_F(FileIoTest, CustomFailpointPrefixIsHonoured) {
+  FailpointRegistry::Global().Enable("model_save/rename",
+                                     FailpointSpec::Once());
+  // A write under a different prefix is unaffected.
+  ASSERT_TRUE(WriteFileAtomic(Path("other.txt"), "x", "csv_write").ok());
+  // The armed prefix fails.
+  EXPECT_FALSE(WriteFileAtomic(Path("model.txt"), "x", "model_save").ok());
+}
+
+TEST_F(FileIoTest, WriteIntoMissingDirectoryFailsCleanly) {
+  const Status status =
+      WriteFileAtomic(Path("no_such_dir/file.txt"), "content");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace mysawh

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace mysawh {
 namespace {
 
@@ -46,9 +48,22 @@ TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
   EXPECT_NE(out.find("only"), std::string::npos);
 }
 
+TEST(TablePrinterTest, MalformedRowDroppedNotFatal) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"too", "many", "cells"});
+  EXPECT_FALSE(table.status().ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+  const std::string out = table.ToString();
+  // The good row still renders; the mistake is visible in the output.
+  EXPECT_NE(out.find("| 1"), std::string::npos);
+  EXPECT_EQ(out.find("many"), std::string::npos);
+  EXPECT_NE(out.find("table error"), std::string::npos);
+}
+
 TEST(BarChartTest, ScalesToMaxWidth) {
   const std::string out =
-      RenderBarChart({"a", "bb"}, {10.0, 5.0}, /*max_width=*/10);
+      *RenderBarChart({"a", "bb"}, {10.0, 5.0}, /*max_width=*/10);
   // The larger value gets the full width; the smaller one half.
   EXPECT_NE(out.find("##########"), std::string::npos);
   EXPECT_NE(out.find("#####"), std::string::npos);
@@ -56,9 +71,19 @@ TEST(BarChartTest, ScalesToMaxWidth) {
 }
 
 TEST(BarChartTest, AllZeroValues) {
-  const std::string out = RenderBarChart({"x"}, {0.0});
+  const std::string out = *RenderBarChart({"x"}, {0.0});
   EXPECT_NE(out.find("x"), std::string::npos);
   EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(BarChartTest, MismatchedInputsFailCleanly) {
+  EXPECT_EQ(RenderBarChart({"a"}, {1.0, 2.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RenderBarChart({"a"}, {1.0}, /*max_width=*/-3).status().code(),
+            StatusCode::kInvalidArgument);
+  const double nan = std::nan("");
+  EXPECT_EQ(RenderBarChart({"a"}, {nan}).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <vector>
 
+#include "util/failpoint.h"
+
 namespace mysawh {
 namespace {
 
@@ -66,6 +68,71 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
     pool.Wait();
   }
   EXPECT_EQ(counter.load(), 20);
+}
+
+class ThreadPoolFailureTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().DisableAll(); }
+};
+
+TEST_F(ThreadPoolFailureTest, DroppedTaskDoesNotDeadlockWait) {
+  ThreadPool pool(4);
+  FailpointRegistry::Global().Enable("thread_pool/task",
+                                     FailpointSpec::Once());
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i) pool.Submit([&] { ran.fetch_add(1); });
+  pool.Wait();  // must return even though one task body was dropped
+  EXPECT_EQ(ran.load(), 19);
+}
+
+TEST_F(ThreadPoolFailureTest, FailedRoundDoesNotPoisonLaterRounds) {
+  ThreadPool pool(4);
+  FailpointRegistry::Global().Enable("thread_pool/task",
+                                     FailpointSpec::Once());
+  std::vector<int> touched(200, 0);
+  pool.ParallelFor(200, [&](int64_t i) { touched[static_cast<size_t>(i)] = 1; });
+  const int first_round =
+      std::accumulate(touched.begin(), touched.end(), 0);
+  EXPECT_LT(first_round, 200);  // one dispatch chunk was dropped
+
+  // The pool is healthy again: the next rounds are complete and, run
+  // twice, deterministic.
+  FailpointRegistry::Global().DisableAll();
+  for (int round = 0; round < 2; ++round) {
+    std::vector<int> again(200, 0);
+    pool.ParallelFor(200, [&](int64_t i) { again[static_cast<size_t>(i)] = 1; });
+    EXPECT_EQ(std::accumulate(again.begin(), again.end(), 0), 200)
+        << "round " << round;
+  }
+}
+
+TEST_F(ThreadPoolFailureTest, ConsumersSeeMissingResultsViaStatusSlots) {
+  // The contract the study runner relies on: a dropped cell leaves its
+  // pre-filled error Status in place instead of vanishing silently.
+  ThreadPool pool(2);
+  FailpointRegistry::Global().Enable("thread_pool/task",
+                                     FailpointSpec::Nth(2));
+  std::vector<Status> slots(8, Status::Internal("cell never ran"));
+  pool.ParallelFor(static_cast<int64_t>(slots.size()), [&](int64_t i) {
+    slots[static_cast<size_t>(i)] = Status::Ok();
+  });
+  int missing = 0;
+  for (const auto& status : slots) {
+    if (!status.ok()) ++missing;
+  }
+  EXPECT_GT(missing, 0);
+  EXPECT_LT(missing, static_cast<int>(slots.size()));
+}
+
+TEST_F(ThreadPoolFailureTest, InlinePoolDropsWholeRangeButReturns) {
+  ThreadPool pool(1);  // inline mode
+  FailpointRegistry::Global().Enable("thread_pool/task",
+                                     FailpointSpec::Once());
+  int calls = 0;
+  pool.ParallelFor(10, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);  // the single inline dispatch was dropped
+  pool.ParallelFor(10, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 10);  // and the pool works again
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 ///   evaluate   Regression or classification metrics on a labelled CSV.
 ///   explain    TreeSHAP explanation of one row (tree models only).
 ///   importance Gain / cover / split-count feature importance of a model.
+///   study      The full 12-cell DD-vs-KD study, with checkpoint/resume.
 ///
 /// Run `mysawh_cli help` for flag documentation.
 
@@ -18,6 +19,7 @@
 #include "core/evaluation.h"
 #include "core/metrics.h"
 #include "core/sample_builder.h"
+#include "core/study.h"
 #include "explain/explanation.h"
 #include "explain/tree_shap.h"
 #include "gam/gam_model.h"
@@ -25,6 +27,7 @@
 #include "linear/linear_model.h"
 #include "model/model.h"
 #include "util/csv.h"
+#include "util/file_io.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -62,10 +65,21 @@ commands:
   explain    --model FILE --data FILE [--row 0] [--top 5]   (gbt only)
   importance --model FILE [--type gain|cover|split]         (gbt only)
 
+  study      [--seed 42] [--model_family gbt|linear|gam] [--threads 0]
+             [--cv-folds 5] [--out REPORT.md]
+             [--checkpoint-dir DIR] [--resume]
+             Runs the paper's full 12-cell DD-vs-KD study and writes the
+             Markdown report. With --checkpoint-dir, each finished cell is
+             persisted (atomic + checksummed); with --resume, valid
+             checkpoints are loaded instead of re-trained, so a killed
+             study continues where it stopped and produces a report
+             bit-identical to an uninterrupted run.
+
 exit codes:
   0  success (including explicit `help`)
-  1  a command ran and failed (I/O error, bad data, ...)
-  2  usage error: no/unknown command or malformed flags
+  1  a command ran and failed at runtime (I/O error, training failure, ...)
+  2  usage error (no/unknown command, malformed flags) or invalid/corrupt
+     input (malformed CSV, truncated or bit-flipped model/checkpoint file)
 )";
 
 /// Loads a CSV into a Dataset using the label/exclude conventions.
@@ -319,6 +333,30 @@ Status RunImportance(const FlagParser& flags) {
   return Status::Ok();
 }
 
+Status RunStudy(const FlagParser& flags) {
+  core::StudyConfig config;
+  MYSAWH_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
+  config.cohort.seed = static_cast<uint64_t>(seed);
+  MYSAWH_ASSIGN_OR_RETURN(config.model_family, GetModelFamily(flags));
+  MYSAWH_ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 0));
+  config.num_threads = static_cast<int>(threads);
+  MYSAWH_ASSIGN_OR_RETURN(int64_t folds, flags.GetInt("cv-folds", 5));
+  config.protocol.cv_folds = static_cast<int>(folds);
+  config.checkpoint_dir = flags.GetString("checkpoint-dir");
+  config.resume = flags.GetBool("resume", false);
+  if (config.resume && config.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("--resume requires --checkpoint-dir");
+  }
+  MYSAWH_ASSIGN_OR_RETURN(core::StudyResult result,
+                          core::RunFullStudy(config));
+  const std::string out = flags.GetString("out", "REPORT.md");
+  MYSAWH_RETURN_NOT_OK(WriteFileAtomic(out, result.ToMarkdown(),
+                                       "report_write"));
+  std::cout << "wrote study report (" << result.cells.size()
+            << " cells) to " << out << "\n";
+  return Status::Ok();
+}
+
 int Main(int argc, const char* const* argv) {
   auto flags_or = FlagParser::Parse(argc - 1, argv + 1);
   if (!flags_or.ok()) {
@@ -339,6 +377,8 @@ int Main(int argc, const char* const* argv) {
     status = RunExplain(flags);
   } else if (flags.command() == "importance") {
     status = RunImportance(flags);
+  } else if (flags.command() == "study") {
+    status = RunStudy(flags);
   } else if (flags.command() == "help" || flags.command().empty()) {
     std::cout << kUsage;
     return flags.command().empty() ? 2 : 0;
@@ -348,7 +388,13 @@ int Main(int argc, const char* const* argv) {
   }
   if (!status.ok()) {
     std::cerr << "error: " << status.ToString() << "\n";
-    return 1;
+    // Invalid and corrupt inputs share the usage exit code: the caller's
+    // request cannot succeed as given (fix the flags or regenerate the
+    // artifact). Everything else — I/O trouble, training failure — is a
+    // runtime failure.
+    const bool bad_input = status.code() == StatusCode::kInvalidArgument ||
+                           status.code() == StatusCode::kDataLoss;
+    return bad_input ? 2 : 1;
   }
   return 0;
 }
