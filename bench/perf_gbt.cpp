@@ -11,12 +11,17 @@
 #include "gbt/binning.h"
 #include "gbt/gbt_model.h"
 #include "gbt/histogram.h"
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace {
 
+using mysawh::Counter;
 using mysawh::Dataset;
+using mysawh::MetricsRegistry;
 using mysawh::Rng;
+using mysawh::Tracer;
 using mysawh::gbt::BinnedData;
 using mysawh::gbt::BuildBinned;
 using mysawh::gbt::GbtModel;
@@ -25,7 +30,6 @@ using mysawh::gbt::GradientPair;
 using mysawh::gbt::HistogramBuilder;
 using mysawh::gbt::HistogramLayout;
 using mysawh::gbt::NodeHistogram;
-using mysawh::gbt::TrainingLog;
 using mysawh::gbt::TreeMethod;
 
 Dataset MakeData(int64_t rows, int64_t features, uint64_t seed) {
@@ -61,24 +65,53 @@ GbtParams BenchParams(TreeMethod method) {
 void BM_TrainHist(benchmark::State& state) {
   const Dataset data = MakeData(state.range(0), state.range(1), 1);
   const GbtParams params = BenchParams(TreeMethod::kHist);
-  TrainingLog log;
+  // Histogram pipeline counters live in the metrics registry now; training
+  // is deterministic, so the per-run node counts are exactly the counter
+  // delta divided by the iteration count.
+  Counter* const direct =
+      MetricsRegistry::Global().GetCounter("gbt.train.hist_nodes_direct");
+  Counter* const subtracted =
+      MetricsRegistry::Global().GetCounter("gbt.train.hist_nodes_subtracted");
+  const int64_t direct_before = direct->Value();
+  const int64_t subtracted_before = subtracted->Value();
   for (auto _ : state) {
-    auto model = GbtModel::Train(data, params, nullptr, &log);
+    auto model = GbtModel::Train(data, params);
     benchmark::DoNotOptimize(model);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
-  // Histogram pipeline counters of the last run: how many node histograms
-  // were accumulated from rows vs derived by sibling subtraction.
-  state.counters["nodes_direct"] =
-      static_cast<double>(log.hist_nodes_direct);
-  state.counters["nodes_subtracted"] =
-      static_cast<double>(log.hist_nodes_subtracted);
+  const auto iterations = static_cast<int64_t>(state.iterations());
+  state.counters["nodes_direct"] = static_cast<double>(
+      (direct->Value() - direct_before) / iterations);
+  state.counters["nodes_subtracted"] = static_cast<double>(
+      (subtracted->Value() - subtracted_before) / iterations);
 }
 BENCHMARK(BM_TrainHist)
     ->Args({500, 16})
     ->Args({2000, 16})
     ->Args({2000, 64})
     ->Args({8000, 64})
+    ->Unit(benchmark::kMillisecond);
+
+/// The tracing-enabled twin of BM_TrainHist/2000/64: every span records an
+/// event, so comparing against the disabled run bounds the observability
+/// overhead (docs/observability.md budgets it at < 5%).
+void BM_TrainHistTraceEnabled(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0), state.range(1), 1);
+  const GbtParams params = BenchParams(TreeMethod::kHist);
+  for (auto _ : state) {
+    // Enable() clears the previous iteration's events, so the buffer cost
+    // stays bounded and every iteration traces the same span population.
+    Tracer::Global().Enable();
+    auto model = GbtModel::Train(data, params);
+    benchmark::DoNotOptimize(model);
+  }
+  Tracer::Global().Disable();
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["trace_events"] =
+      static_cast<double>(Tracer::Global().event_count());
+}
+BENCHMARK(BM_TrainHistTraceEnabled)
+    ->Args({2000, 64})
     ->Unit(benchmark::kMillisecond);
 
 /// The histogram accumulation pass in isolation: one root-node histogram

@@ -4,10 +4,33 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "util/metrics.h"
+
 namespace mysawh::bench {
+
+/// Rewrites the benchmark JSON in place, inserting the process metrics
+/// snapshot as a top-level "mysawh_metrics" member before the final brace.
+/// Best-effort: a malformed or unreadable file is left untouched.
+inline void EmbedMetricsSnapshot(const char* path) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::string text = buffer.str();
+  const size_t brace = text.find_last_of('}');
+  if (brace == std::string::npos) return;
+  const std::string snapshot = MetricsRegistry::Global().SnapshotJson();
+  text.insert(brace, ",\n  \"mysawh_metrics\": " + snapshot);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return;
+  out << text;
+}
 
 /// Runs the registered google-benchmark suite with the usual console
 /// reporter, and additionally writes the results as JSON to `default_out`
@@ -45,6 +68,11 @@ inline int RunPerfBenchmarks(int argc, char** argv, const char* default_out) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // The default JSON file gets the registry snapshot appended, so the
+  // BENCH artifact carries the pipeline counters (node histogram counts,
+  // task latencies) alongside the timings. Caller-directed output files
+  // are left exactly as google-benchmark wrote them.
+  if (!has_out) EmbedMetricsSnapshot(default_out);
   return 0;
 }
 

@@ -9,13 +9,31 @@
 
 #include "util/failpoint.h"
 #include "util/file_io.h"
+#include "util/metrics.h"
 #include "util/serialization.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace mysawh::core {
 namespace {
 
 constexpr char kHeader[] = "mysawh-cell v1";
+
+/// Checkpoint round-trip latency (serialization + checksummed I/O both
+/// included: the caller-visible cost of persistence).
+struct CheckpointMetrics {
+  LatencyHistogram* save_us;
+  LatencyHistogram* load_us;
+};
+
+CheckpointMetrics& Metrics() {
+  static CheckpointMetrics metrics = [] {
+    auto& registry = MetricsRegistry::Global();
+    return CheckpointMetrics{registry.GetHistogram("checkpoint.save_us"),
+                             registry.GetHistogram("checkpoint.load_us")};
+  }();
+  return metrics;
+}
 
 std::string Lower(std::string s) {
   for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
@@ -217,6 +235,8 @@ Status SaveCellCheckpoint(const std::string& dir,
   // "study/cell_save" armed as `from:K` simulates a process killed after
   // K-1 cells persisted (every later save fails too, like a dead process).
   MYSAWH_FAILPOINT("study/cell_save");
+  TraceSpan span("checkpoint.save", "io");
+  ScopedLatencyTimer timer(Metrics().save_us);
   const std::string path =
       dir + "/" +
       CheckpointFileName(result.outcome, result.approach, result.with_fi);
@@ -233,6 +253,8 @@ Result<ExperimentResult> LoadCellCheckpoint(const std::string& dir,
   if (::access(path.c_str(), F_OK) != 0) {
     return Status::NotFound("no checkpoint at " + path);
   }
+  TraceSpan span("checkpoint.load", "io");
+  ScopedLatencyTimer timer(Metrics().load_us);
   MYSAWH_ASSIGN_OR_RETURN(std::string payload, ReadFileChecksummed(path));
   MYSAWH_ASSIGN_OR_RETURN(ExperimentResult result,
                           DeserializeExperimentResult(payload, fingerprint));

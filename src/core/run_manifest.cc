@@ -1,0 +1,89 @@
+#include "core/run_manifest.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/file_io.h"
+#include "util/metrics.h"
+#include "util/version.h"
+
+namespace mysawh::core {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Millis(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+std::string BuildRunManifestJson(const StudyConfig& config,
+                                 const StudyResult& result) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"schema\":\"mysawh-run-manifest v1\",";
+  os << "\"git_describe\":\"" << JsonEscape(GitDescribe()) << "\",";
+  os << "\"fingerprint\":\"" << JsonEscape(StudyFingerprint(config)) << "\",";
+  os << "\"seed\":" << config.cohort.seed << ",";
+  os << "\"eval_seed\":" << config.protocol.seed << ",";
+  os << "\"model_family\":\"" << JsonEscape(ModelFamilyName(config.model_family))
+     << "\",";
+  os << "\"cells\":{";
+  bool first = true;
+  for (const auto& [key, timing] : result.timings) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(StudyCellName(key)) << "\":{"
+       << "\"wall_ms\":" << Millis(timing.wall_ms) << ","
+       << "\"cpu_ms\":" << Millis(timing.cpu_ms) << ","
+       << "\"resumed\":" << (timing.resumed ? "true" : "false") << "}";
+  }
+  os << "},";
+  os << "\"metrics\":" << MetricsRegistry::Global().SnapshotJson();
+  os << "}";
+  return os.str();
+}
+
+Status WriteRunManifest(const std::string& path, const StudyConfig& config,
+                        const StudyResult& result) {
+  return WriteFileAtomic(path, BuildRunManifestJson(config, result) + "\n",
+                         "manifest_write");
+}
+
+}  // namespace mysawh::core

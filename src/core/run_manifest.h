@@ -1,0 +1,30 @@
+#ifndef MYSAWH_CORE_RUN_MANIFEST_H_
+#define MYSAWH_CORE_RUN_MANIFEST_H_
+
+#include <string>
+
+#include "core/study.h"
+
+namespace mysawh::core {
+
+/// Builds the run-manifest JSON for a finished study: what produced the
+/// artifacts (source revision, configuration fingerprint, seed, model
+/// family), what each grid cell cost (wall/CPU milliseconds, whether it
+/// was resumed from a checkpoint), and the process metrics snapshot at the
+/// time of the call.
+///
+/// The manifest is a sidecar: REPORT.md never embeds any of this, so a
+/// traced/instrumented run's report stays bit-identical to a plain run's.
+/// Schema is documented in docs/observability.md; the top-level "schema"
+/// field is "mysawh-run-manifest v1".
+std::string BuildRunManifestJson(const StudyConfig& config,
+                                 const StudyResult& result);
+
+/// Writes BuildRunManifestJson atomically to `path` (plain JSON, no
+/// checksum envelope: manifests are for humans and external tools).
+Status WriteRunManifest(const std::string& path, const StudyConfig& config,
+                        const StudyResult& result);
+
+}  // namespace mysawh::core
+
+#endif  // MYSAWH_CORE_RUN_MANIFEST_H_

@@ -1,8 +1,10 @@
 #include "core/study.h"
 
 #include <sys/stat.h>
+#include <time.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <thread>
@@ -12,9 +14,11 @@
 #include "cohort/simulator.h"
 #include "core/checkpoint.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
 #include "util/serialization.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace mysawh::core {
 
@@ -26,7 +30,40 @@ Status EnsureCheckpointDir(const std::string& dir) {
                          std::strerror(errno));
 }
 
+/// Study-grid instruments: resume hit/miss split plus full-cell latency.
+struct StudyMetrics {
+  Counter* cells_computed;
+  Counter* resume_hits;
+  Counter* resume_misses;
+  LatencyHistogram* cell_us;
+};
+
+StudyMetrics& Metrics() {
+  static StudyMetrics metrics = [] {
+    auto& registry = MetricsRegistry::Global();
+    return StudyMetrics{registry.GetCounter("study.cells_computed"),
+                        registry.GetCounter("study.resume_hits"),
+                        registry.GetCounter("study.resume_misses"),
+                        registry.GetHistogram("study.cell_us")};
+  }();
+  return metrics;
+}
+
+/// Thread CPU time of the calling thread in milliseconds (0.0 when the
+/// clock is unavailable).
+double ThreadCpuMillis() {
+  struct timespec ts;
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) * 1e-6;
+}
+
 }  // namespace
+
+std::string StudyCellName(const StudyCellKey& key) {
+  return std::string(OutcomeName(key.outcome)) + "-" +
+         ApproachName(key.approach) + (key.with_fi ? "-fi1" : "-fi0");
+}
 
 std::string StudyFingerprint(const StudyConfig& config) {
   std::ostringstream os;
@@ -115,11 +152,12 @@ std::string StudyResult::ToMarkdown() const {
 
 Result<StudyResult> RunFullStudy(const StudyConfig& config) {
   cohort::CohortSimulator simulator(config.cohort);
-  MYSAWH_ASSIGN_OR_RETURN(cohort::Cohort cohort, simulator.Generate());
-  MYSAWH_ASSIGN_OR_RETURN(SampleSetBuilder builder,
-                          SampleSetBuilder::Create(&cohort, config.build));
   StudyResult study;
-
+  cohort::Cohort cohort;
+  {
+    TraceSpan span("study.generate_cohort", "study");
+    MYSAWH_ASSIGN_OR_RETURN(cohort, simulator.Generate());
+  }
   // Build all sample sets up front (the builder is stateful), then fan the
   // twelve independent cells out over a pool. Each cell seeds its own Rng
   // from the protocol, so the grid is deterministic for any thread count.
@@ -132,19 +170,25 @@ Result<StudyResult> RunFullStudy(const StudyConfig& config) {
   std::vector<SampleSets> all_sets;
   all_sets.reserve(3);  // jobs hold pointers into all_sets; no reallocation
   std::vector<CellJob> jobs;
-  for (Outcome outcome : {Outcome::kQol, Outcome::kSppb, Outcome::kFalls}) {
-    MYSAWH_ASSIGN_OR_RETURN(SampleSets sets, builder.Build(outcome));
-    if (outcome == Outcome::kQol) {
-      study.total_candidates = sets.total_candidates;
-      study.retained = sets.retained;
-      study.gap_stats = sets.gap_stats_raw;
+  {
+    TraceSpan build_span("study.build_samples", "study");
+    MYSAWH_ASSIGN_OR_RETURN(SampleSetBuilder builder,
+                            SampleSetBuilder::Create(&cohort, config.build));
+    for (Outcome outcome : {Outcome::kQol, Outcome::kSppb, Outcome::kFalls}) {
+      MYSAWH_ASSIGN_OR_RETURN(SampleSets sets, builder.Build(outcome));
+      if (outcome == Outcome::kQol) {
+        study.total_candidates = sets.total_candidates;
+        study.retained = sets.retained;
+        study.gap_stats = sets.gap_stats_raw;
+      }
+      all_sets.push_back(std::move(sets));
+      const SampleSets& stored = all_sets.back();
+      jobs.push_back({&stored.kd, outcome, Approach::kKnowledgeDriven, false});
+      jobs.push_back(
+          {&stored.kd_fi, outcome, Approach::kKnowledgeDriven, true});
+      jobs.push_back({&stored.dd, outcome, Approach::kDataDriven, false});
+      jobs.push_back({&stored.dd_fi, outcome, Approach::kDataDriven, true});
     }
-    all_sets.push_back(std::move(sets));
-    const SampleSets& stored = all_sets.back();
-    jobs.push_back({&stored.kd, outcome, Approach::kKnowledgeDriven, false});
-    jobs.push_back({&stored.kd_fi, outcome, Approach::kKnowledgeDriven, true});
-    jobs.push_back({&stored.dd, outcome, Approach::kDataDriven, false});
-    jobs.push_back({&stored.dd_fi, outcome, Approach::kDataDriven, true});
   }
 
   int num_threads = config.num_threads;
@@ -162,29 +206,53 @@ Result<StudyResult> RunFullStudy(const StudyConfig& config) {
   for (size_t i = 0; i < jobs.size(); ++i) {
     outcomes_by_cell.emplace_back(Status::Internal("cell never ran"));
   }
+  std::vector<CellTiming> timings_by_cell(jobs.size());
   pool.ParallelFor(static_cast<int64_t>(jobs.size()), [&](int64_t i) {
     const CellJob& job = jobs[static_cast<size_t>(i)];
     auto& slot = outcomes_by_cell[static_cast<size_t>(i)];
+    CellTiming& timing = timings_by_cell[static_cast<size_t>(i)];
+    const StudyCellKey key{job.outcome, job.approach, job.with_fi};
+    // Span names are dynamic, so build one only when tracing is on (the
+    // disabled fast path must not allocate).
+    TraceSpan cell_span;
+    if (TracingEnabled()) {
+      cell_span = TraceSpan("study.cell/" + StudyCellName(key), "study");
+    }
+    ScopedLatencyTimer cell_timer(Metrics().cell_us);
+    const auto wall_start = std::chrono::steady_clock::now();
+    const double cpu_start = ThreadCpuMillis();
+    auto finish_timing = [&](bool resumed) {
+      timing.wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+      timing.cpu_ms = ThreadCpuMillis() - cpu_start;
+      timing.resumed = resumed;
+    };
     if (checkpointing && config.resume) {
       Result<ExperimentResult> loaded =
           LoadCellCheckpoint(config.checkpoint_dir, fingerprint, job.outcome,
                              job.approach, job.with_fi);
       if (loaded.ok()) {
+        Metrics().resume_hits->Increment();
         slot = std::move(loaded);
+        finish_timing(/*resumed=*/true);
         return;
       }
       // NotFound (never checkpointed), DataLoss (corrupt file) and
       // FailedPrecondition (different configuration) all mean the same
       // thing here: this cell must be recomputed.
+      Metrics().resume_misses->Increment();
     }
     if (auto injected = FailpointRegistry::Global().Check("study/cell_run")) {
       slot = *std::move(injected);
+      finish_timing(/*resumed=*/false);
       return;
     }
     ModelFamilyConfig model_config =
         DefaultModelConfig(job.outcome, job.approach, config.model_family);
     slot = RunExperiment(*job.data, job.outcome, job.approach, job.with_fi,
                          model_config, config.protocol);
+    Metrics().cells_computed->Increment();
     if (slot.ok() && checkpointing) {
       const Status saved =
           SaveCellCheckpoint(config.checkpoint_dir, fingerprint, *slot);
@@ -193,15 +261,17 @@ Result<StudyResult> RunFullStudy(const StudyConfig& config) {
       // work it reported as persisted.
       if (!saved.ok()) slot = saved;
     }
+    finish_timing(/*resumed=*/false);
   });
 
   // Collect in grid order so the first error reported is deterministic too.
   for (size_t i = 0; i < jobs.size(); ++i) {
+    const StudyCellKey key{jobs[i].outcome, jobs[i].approach,
+                           jobs[i].with_fi};
     MYSAWH_ASSIGN_OR_RETURN(ExperimentResult result,
                             std::move(outcomes_by_cell[i]));
-    study.cells.emplace(
-        StudyCellKey{jobs[i].outcome, jobs[i].approach, jobs[i].with_fi},
-        std::move(result));
+    study.cells.emplace(key, std::move(result));
+    study.timings.emplace(key, timings_by_cell[i]);
   }
   return study;
 }

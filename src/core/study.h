@@ -53,10 +53,28 @@ struct StudyCellKey {
   }
 };
 
+/// Canonical "<Outcome>-<KD|DD>-fi<0|1>" label of a cell; used as the
+/// trace span name (`study.cell/<label>`) and as the manifest timing key.
+std::string StudyCellName(const StudyCellKey& key);
+
+/// Wall/CPU cost of computing (or resuming) one study cell. Collected for
+/// the run manifest only — ToMarkdown() never reads it, so a traced run's
+/// REPORT.md stays bit-identical to an untraced one.
+struct CellTiming {
+  double wall_ms = 0.0;
+  /// Thread CPU time of the cell body (CLOCK_THREAD_CPUTIME_ID); excludes
+  /// work the cell fanned out to other pool workers.
+  double cpu_ms = 0.0;
+  /// True when the cell was loaded from a checkpoint instead of computed.
+  bool resumed = false;
+};
+
 /// The complete result of a study: the paper's Fig 4 grid (3 outcomes x
 /// {KD, DD} x {with, without FI}) plus dataset-level statistics.
 struct StudyResult {
   std::map<StudyCellKey, ExperimentResult> cells;
+  /// Per-cell cost, keyed like `cells` (see CellTiming).
+  std::map<StudyCellKey, CellTiming> timings;
   int64_t total_candidates = 0;
   int64_t retained = 0;
   GapStats gap_stats;

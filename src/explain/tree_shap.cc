@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace mysawh::explain {
 
@@ -257,6 +259,11 @@ Result<std::vector<std::vector<double>>> TreeShap::ShapBatch(
   if (data.num_features() != model_->num_features()) {
     return Status::InvalidArgument("ShapBatch: dataset width mismatch");
   }
+  TraceSpan span("shap.batch", "explain");
+  span.Arg("rows", data.num_rows());
+  static Counter* const rows_counter =
+      MetricsRegistry::Global().GetCounter("shap.batch_rows");
+  rows_counter->Increment(data.num_rows());
   // Each row's attribution is an independent recursion with its own
   // workspace writing its own output slot, so the shared pool changes
   // nothing about the values — only the wall clock.

@@ -6,6 +6,8 @@
 #include <limits>
 #include <utility>
 
+#include "util/trace.h"
+
 namespace mysawh::gbt {
 
 namespace {
@@ -253,6 +255,9 @@ Result<BinnedData> BuildBinned(const Dataset& data, int max_bins,
   if (max_bins < 2) {
     return Status::InvalidArgument("max_bins must be >= 2");
   }
+  TraceSpan span("gbt.binning", "train");
+  span.Arg("rows", data.num_rows());
+  span.Arg("features", data.num_features());
   BinnedData out;
   const int64_t n = data.num_rows();
   const int64_t nf = data.num_features();

@@ -5,9 +5,11 @@
 #include <sstream>
 
 #include "gbt/trainer.h"
+#include "util/metrics.h"
 #include "util/serialization.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace mysawh::gbt {
 
@@ -34,6 +36,11 @@ Result<std::vector<double>> GbtModel::PredictRaw(const Dataset& data) const {
         "Predict: dataset width " + std::to_string(data.num_features()) +
         " != model width " + std::to_string(num_features()));
   }
+  TraceSpan span("gbt.predict", "predict");
+  span.Arg("rows", data.num_rows());
+  static Counter* const rows_counter =
+      MetricsRegistry::Global().GetCounter("gbt.predict.rows");
+  rows_counter->Increment(data.num_rows());
   // Rows are independent and write disjoint slots, so the shared pool keeps
   // results bit-identical to the sequential loop.
   std::vector<double> out(static_cast<size_t>(data.num_rows()));

@@ -23,12 +23,10 @@ struct TrainingLog {
   };
   std::vector<Round> rounds;
   std::string metric_name;
-  /// Hist-mode histogram pipeline counters: nodes whose histogram was
-  /// accumulated from rows vs derived as parent − sibling (the subtraction
-  /// trick). Zero in exact mode.
-  int64_t hist_nodes_direct = 0;
-  int64_t hist_nodes_subtracted = 0;
 };
+// The hist-mode node counters that used to live here are now registry
+// counters `gbt.train.hist_nodes_direct` / `gbt.train.hist_nodes_subtracted`
+// (see util/metrics.h and docs/observability.md).
 
 /// A trained gradient-boosted tree ensemble (XGBoost-style second-order
 /// boosting, built from scratch). Supports regression (squared error,

@@ -5,12 +5,36 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace mysawh::gbt {
 
 namespace {
 
 constexpr double kMinSplitGain = 1e-10;
+
+/// Training instruments. The histogram-pipeline node counters moved here
+/// from the old ad-hoc `TrainingLog` fields, so every counter in the
+/// process reads through one registry (docs/observability.md).
+struct TrainerMetrics {
+  Counter* hist_nodes_direct;
+  Counter* hist_nodes_subtracted;
+  Counter* trees_grown;
+  LatencyHistogram* tree_us;
+};
+
+TrainerMetrics& Metrics() {
+  static TrainerMetrics metrics = [] {
+    auto& registry = MetricsRegistry::Global();
+    return TrainerMetrics{
+        registry.GetCounter("gbt.train.hist_nodes_direct"),
+        registry.GetCounter("gbt.train.hist_nodes_subtracted"),
+        registry.GetCounter("gbt.train.trees_grown"),
+        registry.GetHistogram("gbt.train.tree_us")};
+  }();
+  return metrics;
+}
 
 /// Soft-thresholding for L1 regularization on the gradient sum.
 double ThresholdL1(double g, double alpha) {
@@ -402,9 +426,12 @@ void Trainer::BuildNode(RegressionTree* tree, int node_id,
     if (use_hist_ && hist.empty()) {
       // Root (or a node whose parent skipped the subtraction trick): one
       // row-major pass accumulates every feature's histogram at once.
+      TraceSpan span("gbt.hist_build", "train");
+      span.Arg("rows", static_cast<int64_t>(rows.size()));
       hist = hist_builder_->Build(*layout, rows, gpairs);
       ++hist_nodes_direct_;
     }
+    TraceSpan split_span("gbt.split_find", "train");
     // Per-feature proposals evaluated in parallel, reduced deterministically.
     std::vector<SplitCandidate> proposals(features.size());
     pool_.ParallelFor(static_cast<int64_t>(features.size()), [&](int64_t i) {
@@ -463,11 +490,21 @@ void Trainer::BuildNode(RegressionTree* tree, int node_id,
       static_cast<int64_t>(std::max(left_rows.size(), right_rows.size())) >=
           2 * params_.min_samples_leaf) {
     const bool left_smaller = left_rows.size() <= right_rows.size();
-    NodeHistogram smaller = hist_builder_->Build(
-        *layout, left_smaller ? left_rows : right_rows, gpairs);
-    ++hist_nodes_direct_;
-    NodeHistogram larger = NodeHistogram::Subtract(std::move(hist), smaller);
-    ++hist_nodes_subtracted_;
+    NodeHistogram smaller;
+    {
+      TraceSpan span("gbt.hist_build", "train");
+      span.Arg("rows", static_cast<int64_t>(
+                           left_smaller ? left_rows.size() : right_rows.size()));
+      smaller = hist_builder_->Build(
+          *layout, left_smaller ? left_rows : right_rows, gpairs);
+      ++hist_nodes_direct_;
+    }
+    NodeHistogram larger;
+    {
+      TraceSpan subtract_span("gbt.hist_subtract", "train");
+      larger = NodeHistogram::Subtract(std::move(hist), smaller);
+      ++hist_nodes_subtracted_;
+    }
     left_hist = left_smaller ? std::move(smaller) : std::move(larger);
     right_hist = left_smaller ? std::move(larger) : std::move(smaller);
   }
@@ -534,6 +571,10 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
         "monotone_constraints length must equal the feature count");
   }
 
+  TraceSpan train_span("gbt.train", "train");
+  train_span.Arg("rows", train_.num_rows());
+  train_span.Arg("features", train_.num_features());
+
   use_hist_ = params_.tree_method == TreeMethod::kHist;
   if (use_hist_) {
     MYSAWH_ASSIGN_OR_RETURN(BinnedData binned_data,
@@ -565,6 +606,9 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
   int best_round = -1;
 
   for (int round = 0; round < params_.num_trees; ++round) {
+    TraceSpan tree_span("gbt.tree", "train");
+    tree_span.Arg("round", round);
+    ScopedLatencyTimer tree_timer(Metrics().tree_us);
     // Per-row gradients are independent writes to disjoint slots, so the
     // parallel loop is deterministic for any thread count.
     pool_.ParallelFor(n, [&](int64_t i) {
@@ -607,14 +651,18 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
 
     RegressionTree tree = GrowTree(gpairs, std::move(rows), features);
 
-    // Update cached raw scores (all rows, not just the subsample).
-    pool_.ParallelFor(n, [&](int64_t i) {
-      raw_train[static_cast<size_t>(i)] += tree.Predict(train_.row(i));
-    });
-    if (validation != nullptr) {
-      pool_.ParallelFor(validation->num_rows(), [&](int64_t i) {
-        raw_valid[static_cast<size_t>(i)] += tree.Predict(validation->row(i));
+    {
+      // Update cached raw scores (all rows, not just the subsample).
+      TraceSpan span("gbt.update_scores", "train");
+      pool_.ParallelFor(n, [&](int64_t i) {
+        raw_train[static_cast<size_t>(i)] += tree.Predict(train_.row(i));
       });
+      if (validation != nullptr) {
+        pool_.ParallelFor(validation->num_rows(), [&](int64_t i) {
+          raw_valid[static_cast<size_t>(i)] +=
+              tree.Predict(validation->row(i));
+        });
+      }
     }
     model.trees_.push_back(std::move(tree));
 
@@ -658,10 +706,12 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
   } else {
     model.best_iteration_ = static_cast<int>(model.trees_.size()) - 1;
   }
-  if (log != nullptr) {
-    log->hist_nodes_direct = hist_nodes_direct_;
-    log->hist_nodes_subtracted = hist_nodes_subtracted_;
-  }
+  // Flush the per-run node counters into the registry in one shot: the
+  // recursion stays free of atomics, and the registry still sees exact
+  // per-training deltas (tests and benchmarks read these).
+  Metrics().hist_nodes_direct->Increment(hist_nodes_direct_);
+  Metrics().hist_nodes_subtracted->Increment(hist_nodes_subtracted_);
+  Metrics().trees_grown->Increment(static_cast<int64_t>(model.trees_.size()));
   return model;
 }
 

@@ -11,13 +11,46 @@
 #include <sstream>
 
 #include "util/failpoint.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace mysawh {
 
 namespace {
 
 constexpr const char kEnvelopeMagic[] = "mysawh-artifact v1 ";
+
+/// File-I/O instruments (see docs/observability.md for the catalog).
+struct IoMetrics {
+  Counter* writes;
+  Counter* bytes_written;
+  Counter* reads;
+  Counter* bytes_read;
+  Counter* data_loss;
+  LatencyHistogram* fsync_us;
+};
+
+IoMetrics& Metrics() {
+  static IoMetrics metrics = [] {
+    auto& registry = MetricsRegistry::Global();
+    return IoMetrics{registry.GetCounter("file_io.writes"),
+                     registry.GetCounter("file_io.bytes_written"),
+                     registry.GetCounter("file_io.reads"),
+                     registry.GetCounter("file_io.bytes_read"),
+                     registry.GetCounter("file_io.data_loss_rejections"),
+                     registry.GetHistogram("file_io.fsync_us")};
+  }();
+  return metrics;
+}
+
+/// Every DataLoss rejection is counted before it is returned, so corrupt
+/// artifacts show up in a metrics snapshot even when the caller retries
+/// or falls back (e.g. the study runner re-running a bad checkpoint).
+Status CountDataLoss(Status status) {
+  Metrics().data_loss->Increment();
+  return status;
+}
 
 std::string ErrnoMessage(const std::string& what, const std::string& path) {
   return what + " " + path + ": " + std::strerror(errno);
@@ -72,16 +105,22 @@ std::string Crc32Hex(uint32_t crc) {
 
 Result<std::string> ReadFileToString(const std::string& path) {
   MYSAWH_FAILPOINT("file_read/open");
+  TraceSpan span("file_io.read", "io");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (in.bad()) return Status::IoError("failed reading: " + path);
-  return buffer.str();
+  std::string content = buffer.str();
+  Metrics().reads->Increment();
+  Metrics().bytes_read->Increment(static_cast<int64_t>(content.size()));
+  return content;
 }
 
 Status WriteFileAtomic(const std::string& path, const std::string& content,
                        const std::string& failpoint_prefix) {
+  TraceSpan span("file_io.write_atomic", "io");
+  span.Arg("bytes", static_cast<int64_t>(content.size()));
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   auto site = [&](const char* step) { return failpoint_prefix + "/" + step; };
@@ -118,10 +157,13 @@ Status WriteFileAtomic(const std::string& path, const std::string& content,
     ::close(fd);
     return fail(*fp);
   }
-  if (::fsync(fd) != 0) {
-    const Status st = Status::IoError(ErrnoMessage("fsync", tmp));
-    ::close(fd);
-    return fail(st);
+  {
+    ScopedLatencyTimer fsync_timer(Metrics().fsync_us);
+    if (::fsync(fd) != 0) {
+      const Status st = Status::IoError(ErrnoMessage("fsync", tmp));
+      ::close(fd);
+      return fail(st);
+    }
   }
   if (::close(fd) != 0) {
     return fail(Status::IoError(ErrnoMessage("close", tmp)));
@@ -133,6 +175,8 @@ Status WriteFileAtomic(const std::string& path, const std::string& content,
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     return fail(Status::IoError(ErrnoMessage("rename to", path)));
   }
+  Metrics().writes->Increment();
+  Metrics().bytes_written->Increment(static_cast<int64_t>(content.size()));
   return FsyncDir(DirName(path));
 }
 
@@ -164,26 +208,26 @@ bool LooksChecksummed(const std::string& text) {
 
 Result<std::string> UnwrapChecksummed(const std::string& text) {
   if (!LooksChecksummed(text)) {
-    return Status::DataLoss("not a checksummed artifact (missing '" +
-                            std::string(kEnvelopeMagic) + "' header)");
+    return CountDataLoss(Status::DataLoss("not a checksummed artifact (missing '" +
+                            std::string(kEnvelopeMagic) + "' header)"));
   }
   const size_t newline = text.find('\n');
   if (newline == std::string::npos) {
-    return Status::DataLoss("checksummed artifact truncated inside header");
+    return CountDataLoss(Status::DataLoss("checksummed artifact truncated inside header"));
   }
   const std::string header = text.substr(0, newline);
   if (!StartsWith(header, kEnvelopeMagic)) {
-    return Status::DataLoss("corrupt artifact header: " + header);
+    return CountDataLoss(Status::DataLoss("corrupt artifact header: " + header));
   }
   const auto fields = Split(header.substr(sizeof(kEnvelopeMagic) - 1), ' ');
   if (fields.size() != 2 || !StartsWith(fields[0], "crc32=") ||
       !StartsWith(fields[1], "bytes=")) {
-    return Status::DataLoss("corrupt artifact header: " + header);
+    return CountDataLoss(Status::DataLoss("corrupt artifact header: " + header));
   }
   const std::string crc_hex = fields[0].substr(6);
   if (crc_hex.size() != 8 ||
       crc_hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
-    return Status::DataLoss("corrupt artifact crc field: " + header);
+    return CountDataLoss(Status::DataLoss("corrupt artifact crc field: " + header));
   }
   uint32_t expected_crc = 0;
   for (char c : crc_hex) {
@@ -192,22 +236,22 @@ Result<std::string> UnwrapChecksummed(const std::string& text) {
   }
   const auto parsed_bytes = ParseInt64(fields[1].substr(6));
   if (!parsed_bytes.ok() || *parsed_bytes < 0) {
-    return Status::DataLoss("corrupt artifact bytes field: " + header);
+    return CountDataLoss(Status::DataLoss("corrupt artifact bytes field: " + header));
   }
   const int64_t expected_bytes = *parsed_bytes;
   const std::string payload = text.substr(newline + 1);
   if (static_cast<int64_t>(payload.size()) != expected_bytes) {
-    return Status::DataLoss(
+    return CountDataLoss(Status::DataLoss(
         "artifact length mismatch: header says " +
         std::to_string(expected_bytes) + " bytes, file has " +
         std::to_string(payload.size()) +
-        " (truncated or garbage-appended)");
+        " (truncated or garbage-appended)"));
   }
   const uint32_t actual_crc = Crc32(payload);
   if (actual_crc != expected_crc) {
-    return Status::DataLoss("artifact checksum mismatch: header crc32=" +
+    return CountDataLoss(Status::DataLoss("artifact checksum mismatch: header crc32=" +
                             Crc32Hex(expected_crc) + ", payload crc32=" +
-                            Crc32Hex(actual_crc));
+                            Crc32Hex(actual_crc)));
   }
   return payload;
 }

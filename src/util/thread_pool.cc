@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/failpoint.h"
+#include "util/metrics.h"
 
 namespace mysawh {
 
@@ -14,6 +15,40 @@ namespace {
 /// return normally, consumers observe the missing result through their own
 /// Status slots, and the pool stays healthy for subsequent rounds.
 bool TaskDropped() { return MYSAWH_FAILPOINT_TRIGGERED("thread_pool/task"); }
+
+/// Pool instruments, shared by every pool in the process (the registry is
+/// global; pools are fungible workers of one process). Cached pointers:
+/// the registry lock is paid once per process, not per task.
+struct PoolMetrics {
+  Gauge* queue_depth;
+  Counter* dispatched;
+  Counter* inline_runs;
+  Counter* dropped;
+  LatencyHistogram* task_us;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics metrics = [] {
+    auto& registry = MetricsRegistry::Global();
+    return PoolMetrics{registry.GetGauge("thread_pool.queue_depth"),
+                       registry.GetCounter("thread_pool.tasks_dispatched"),
+                       registry.GetCounter("thread_pool.tasks_inline"),
+                       registry.GetCounter("thread_pool.tasks_dropped"),
+                       registry.GetHistogram("thread_pool.task_us")};
+  }();
+  return metrics;
+}
+
+/// Runs one task body under the drop failpoint, timing it into the task
+/// latency histogram.
+void RunAccounted(const std::function<void()>& task) {
+  if (TaskDropped()) {
+    Metrics().dropped->Increment();
+    return;
+  }
+  ScopedLatencyTimer timer(Metrics().task_us);
+  task();
+}
 
 }  // namespace
 
@@ -36,7 +71,8 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
-    if (!TaskDropped()) task();
+    Metrics().inline_runs->Increment();
+    RunAccounted(task);
     return;
   }
   {
@@ -44,6 +80,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     tasks_.push(std::move(task));
     ++in_flight_;
   }
+  Metrics().dispatched->Increment();
+  Metrics().queue_depth->Add(1);
   task_available_.notify_one();
 }
 
@@ -53,13 +91,23 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+int64_t ThreadPool::PendingTasks() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(tasks_.size());
+}
+
 void ThreadPool::ParallelFor(int64_t count,
                              const std::function<void(int64_t)>& fn) {
   if (count <= 0) return;
   if (workers_.empty()) {
     // One dispatch per chunk-equivalent would be ambiguous inline; treat
     // the whole inline range as one dispatched task, mirroring Submit.
-    if (TaskDropped()) return;
+    Metrics().inline_runs->Increment();
+    if (TaskDropped()) {
+      Metrics().dropped->Increment();
+      return;
+    }
+    ScopedLatencyTimer timer(Metrics().task_us);
     for (int64_t i = 0; i < count; ++i) fn(i);
     return;
   }
@@ -81,7 +129,12 @@ void ThreadPool::ParallelForChunks(
         fn) {
   if (count <= 0 || chunk_size <= 0) return;
   if (workers_.empty()) {
-    if (TaskDropped()) return;
+    Metrics().inline_runs->Increment();
+    if (TaskDropped()) {
+      Metrics().dropped->Increment();
+      return;
+    }
+    ScopedLatencyTimer timer(Metrics().task_us);
     int64_t chunk = 0;
     for (int64_t begin = 0; begin < count; begin += chunk_size, ++chunk) {
       fn(chunk, begin, std::min(begin + chunk_size, count));
@@ -113,7 +166,8 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    if (!TaskDropped()) task();
+    Metrics().queue_depth->Add(-1);
+    RunAccounted(task);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;

@@ -39,6 +39,12 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void Wait();
 
+  /// Tasks submitted but not yet picked up by a worker (the queue
+  /// backlog; running tasks are not counted). Always 0 in inline mode.
+  /// Feeds the `thread_pool.queue_depth` gauge, which sums the backlog
+  /// across every live pool in the process.
+  int64_t PendingTasks() const;
+
   /// Runs `fn(i)` for i in [0, count), partitioned into contiguous chunks
   /// across the pool, and blocks until all iterations complete. `fn` must be
   /// safe to call concurrently for distinct i.
@@ -64,7 +70,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   int64_t in_flight_ = 0;

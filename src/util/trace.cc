@@ -1,0 +1,188 @@
+#include "util/trace.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/file_io.h"
+
+namespace mysawh {
+
+namespace trace_internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace trace_internal
+
+namespace {
+
+/// The calling thread's buffer within the global tracer. The pointed-to
+/// buffer is owned by the tracer and outlives every thread (the tracer is
+/// leaked), so this cache is valid for the thread's whole lifetime.
+thread_local Tracer::ThreadBuffer* tls_buffer = nullptr;
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  // Leaked intentionally: span destructors on worker threads may run
+  // during static destruction.
+  static Tracer* const tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& buffer : buffers_) buffer->events.clear();
+  epoch_ = std::chrono::steady_clock::now();
+  trace_internal::g_enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() {
+  trace_internal::g_enabled.store(false, std::memory_order_release);
+}
+
+int64_t Tracer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  if (tls_buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buffers_.back()->tid = next_tid_++;
+    tls_buffer = buffers_.back().get();
+  }
+  return tls_buffer;
+}
+
+void Tracer::Record(TraceEvent event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  event.tid = buffer->tid;
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  // Start-time order, longest-first on ties, so enclosing spans precede
+  // their children and equal-timing runs serialize identically.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+                     return a.tid < b.tid;
+                   });
+  return events;
+}
+
+size_t Tracer::event_count() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t count = 0;
+  for (const auto& buffer : buffers_) count += buffer->events.size();
+  return count;
+}
+
+std::string Tracer::ToJson() {
+  const std::vector<TraceEvent> events = Snapshot();
+  const long pid = static_cast<long>(::getpid());
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+     << ",\"tid\":0,\"args\":{\"name\":\"mysawh\"}}";
+  for (const TraceEvent& event : events) {
+    os << ",\n{\"name\":\"" << JsonEscape(event.name) << "\",\"cat\":\""
+       << JsonEscape(event.cat) << "\",\"ph\":\"X\",\"ts\":" << event.ts_us
+       << ",\"dur\":" << event.dur_us << ",\"pid\":" << pid
+       << ",\"tid\":" << event.tid;
+    if (!event.args.empty()) os << ",\"args\":{" << event.args << "}";
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+Status Tracer::WriteJson(const std::string& path) {
+  return WriteFileAtomic(path, ToJson(), "trace_write");
+}
+
+TraceSpan& TraceSpan::operator=(TraceSpan&& other) noexcept {
+  Finish();
+  active_ = other.active_;
+  name_ = std::move(other.name_);
+  cat_ = other.cat_;
+  start_us_ = other.start_us_;
+  args_ = std::move(other.args_);
+  other.active_ = false;
+  return *this;
+}
+
+void TraceSpan::Begin(std::string name, const char* cat) {
+  name_ = std::move(name);
+  cat_ = cat;
+  start_us_ = Tracer::Global().NowMicros();
+}
+
+void TraceSpan::Finish() {
+  if (!active_) return;
+  active_ = false;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.cat = cat_;
+  event.ts_us = start_us_;
+  event.dur_us = Tracer::Global().NowMicros() - start_us_;
+  event.args = std::move(args_);
+  Tracer::Global().Record(std::move(event));
+}
+
+void TraceSpan::Arg(const char* key, int64_t value) {
+  if (!active_) return;
+  if (!args_.empty()) args_ += ",";
+  args_ += "\"";
+  args_ += JsonEscape(key);
+  args_ += "\":";
+  args_ += std::to_string(value);
+}
+
+}  // namespace mysawh

@@ -1,0 +1,155 @@
+#ifndef MYSAWH_UTIL_TRACE_H_
+#define MYSAWH_UTIL_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mysawh {
+
+/// Scoped trace spans emitting Chrome/Perfetto-compatible `trace_event`
+/// JSON (open a written file directly in https://ui.perfetto.dev or
+/// chrome://tracing).
+///
+/// Discipline mirrors util/failpoint.h: spans are compiled into every
+/// build, and a *disabled* span costs one relaxed atomic load and
+/// allocates nothing — so the hot training/explanation paths stay
+/// instrumented permanently. Enabling (CLI `--trace-out=<file>`, or
+/// Tracer::Global().Enable() in tests) starts a session; spans then record
+/// their wall-clock interval into a per-thread buffer (no lock per event).
+///
+///   {
+///     TraceSpan span("gbt.tree", "train");
+///     span.Arg("round", round);
+///     ...  // the traced work
+///   }      // duration recorded here
+///
+/// Spans nest naturally: Perfetto stacks events of the same thread by
+/// containment, so the RAII scopes ARE the timeline hierarchy.
+///
+/// Buffers are collected by ToJson()/WriteJson(), which must run quiescent
+/// (no spans concurrently open — in practice: after pools Wait()ed and the
+/// traced call returned). Enable() clears the previous session.
+
+/// One completed span (a Chrome "X" complete event).
+struct TraceEvent {
+  std::string name;
+  const char* cat = "mysawh";
+  int64_t ts_us = 0;   ///< Start, microseconds since session start.
+  int64_t dur_us = 0;  ///< Wall-clock duration in microseconds.
+  int tid = 0;         ///< Small dense thread id, assigned per session use.
+  std::string args;    ///< Pre-rendered JSON object body ("" = no args).
+};
+
+namespace trace_internal {
+/// Session on/off flag. Namespace-scope atomic (not a function-local
+/// static) so the disabled fast path is exactly one relaxed load with no
+/// init guard.
+extern std::atomic<bool> g_enabled;
+}  // namespace trace_internal
+
+/// True when a trace session is active. The one-load fast path; call
+/// sites building dynamic span names should guard on this so the disabled
+/// mode allocates nothing.
+inline bool TracingEnabled() {
+  return trace_internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// The process-wide span collector.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Starts a fresh session: clears previously collected events and
+  /// resets the session clock. Call quiescent.
+  void Enable();
+  /// Stops recording. Already-open spans still deposit their event on
+  /// destruction (they are part of the session being closed).
+  void Disable();
+  bool enabled() const { return TracingEnabled(); }
+
+  /// Microseconds since the session started.
+  int64_t NowMicros() const;
+
+  /// Deposits one completed event into this thread's buffer.
+  void Record(TraceEvent event);
+
+  /// All collected events, sorted by (ts, -dur, tid). Call quiescent.
+  std::vector<TraceEvent> Snapshot();
+  size_t event_count();
+
+  /// The collected session as Chrome trace JSON
+  /// (`{"traceEvents": [...], ...}`).
+  std::string ToJson();
+  /// ToJson() written atomically to `path`.
+  Status WriteJson(const std::string& path);
+
+  /// Per-thread event sink (public so the thread_local cache in trace.cc
+  /// can name the type; not part of the API).
+  struct ThreadBuffer {
+    int tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+ private:
+  Tracer() = default;
+  ThreadBuffer* BufferForThisThread();
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  int next_tid_ = 1;
+};
+
+/// RAII span. Construct with the static span name (a string literal); the
+/// interval from construction to destruction becomes one trace event.
+/// Disabled sessions make both ends a no-op.
+class TraceSpan {
+ public:
+  /// An inactive span (for the two-phase dynamic-name pattern:
+  /// `TraceSpan s; if (TracingEnabled()) s = TraceSpan(BuildName(), cat);`).
+  TraceSpan() = default;
+
+  explicit TraceSpan(const char* name, const char* cat = "mysawh")
+      : active_(TracingEnabled()) {
+    if (active_) Begin(name, cat);
+  }
+  /// Dynamic-name form; the string is only reachable from call sites that
+  /// already guarded on TracingEnabled(), but checks again for safety.
+  TraceSpan(std::string name, const char* cat) : active_(TracingEnabled()) {
+    if (active_) Begin(std::move(name), cat);
+  }
+
+  TraceSpan(TraceSpan&& other) noexcept { *this = std::move(other); }
+  TraceSpan& operator=(TraceSpan&& other) noexcept;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { Finish(); }
+
+  /// Attaches an integer argument shown in the trace viewer's detail pane.
+  void Arg(const char* key, int64_t value);
+
+  bool active() const { return active_; }
+
+ private:
+  void Begin(std::string name, const char* cat);
+  void Finish();
+
+  bool active_ = false;
+  std::string name_;
+  const char* cat_ = "mysawh";
+  int64_t start_us_ = 0;
+  std::string args_;
+};
+
+}  // namespace mysawh
+
+#endif  // MYSAWH_UTIL_TRACE_H_

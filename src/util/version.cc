@@ -1,0 +1,11 @@
+#include "util/version.h"
+
+#ifndef MYSAWH_GIT_DESCRIBE
+#define MYSAWH_GIT_DESCRIBE "unknown"
+#endif
+
+namespace mysawh {
+
+const char* GitDescribe() { return MYSAWH_GIT_DESCRIBE; }
+
+}  // namespace mysawh

@@ -1,0 +1,14 @@
+#ifndef MYSAWH_UTIL_VERSION_H_
+#define MYSAWH_UTIL_VERSION_H_
+
+namespace mysawh {
+
+/// The `git describe --always --dirty` of the tree this binary was built
+/// from, injected at configure time (see src/CMakeLists.txt); "unknown"
+/// when the build did not run inside a git checkout. Recorded in run
+/// manifests so study artifacts are traceable to a source revision.
+const char* GitDescribe();
+
+}  // namespace mysawh
+
+#endif  // MYSAWH_UTIL_VERSION_H_

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "util/failpoint.h"
+#include "util/metrics.h"
 
 namespace mysawh {
 namespace {
@@ -70,6 +74,42 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
   EXPECT_EQ(counter.load(), 20);
 }
 
+TEST(ThreadPoolTest, PendingTasksCountsBacklogAndDrains) {
+  ThreadPool pool(2);
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> started{0};
+  // Occupy both workers so further submissions stay queued.
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&] {
+      started.fetch_add(1);
+      std::unique_lock<std::mutex> lock(m);
+      cv.wait(lock, [&] { return release; });
+    });
+  }
+  while (started.load() < 2) std::this_thread::yield();
+  for (int i = 0; i < 5; ++i) pool.Submit([] {});
+  EXPECT_EQ(pool.PendingTasks(), 5);
+  Gauge* depth =
+      MetricsRegistry::Global().GetGauge("thread_pool.queue_depth");
+  EXPECT_GE(depth->Value(), 5);
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+  EXPECT_EQ(pool.PendingTasks(), 0);
+  EXPECT_EQ(depth->Value(), 0);
+}
+
+TEST(ThreadPoolTest, InlineModeHasNoBacklog) {
+  ThreadPool pool(1);
+  pool.Submit([] {});
+  EXPECT_EQ(pool.PendingTasks(), 0);
+}
+
 class ThreadPoolFailureTest : public ::testing::Test {
  protected:
   void TearDown() override { FailpointRegistry::Global().DisableAll(); }
@@ -122,6 +162,27 @@ TEST_F(ThreadPoolFailureTest, ConsumersSeeMissingResultsViaStatusSlots) {
   }
   EXPECT_GT(missing, 0);
   EXPECT_LT(missing, static_cast<int>(slots.size()));
+}
+
+TEST_F(ThreadPoolFailureTest, QueueDepthGaugeZeroAfterDroppedTask) {
+  // Regression: the depth gauge is decremented on dequeue, before the drop
+  // failpoint fires, so a task that dies without running still balances
+  // the gauge back to zero.
+  Gauge* depth =
+      MetricsRegistry::Global().GetGauge("thread_pool.queue_depth");
+  Counter* dropped =
+      MetricsRegistry::Global().GetCounter("thread_pool.tasks_dropped");
+  const int64_t dropped_before = dropped->Value();
+  ThreadPool pool(4);
+  FailpointRegistry::Global().Enable("thread_pool/task",
+                                     FailpointSpec::Once());
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) pool.Submit([&] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 49);
+  EXPECT_EQ(dropped->Value(), dropped_before + 1);
+  EXPECT_EQ(pool.PendingTasks(), 0);
+  EXPECT_EQ(depth->Value(), 0);
 }
 
 TEST_F(ThreadPoolFailureTest, InlinePoolDropsWholeRangeButReturns) {

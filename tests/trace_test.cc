@@ -1,0 +1,143 @@
+/// Tests of the trace-span system (util/trace.h): event capture, nesting,
+/// the disabled fast path, Chrome-trace JSON shape, and session lifecycle.
+
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/file_io.h"
+
+namespace mysawh {
+namespace {
+
+/// Every test owns the global session: enable fresh, disable on exit.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::Global().Enable(); }
+  void TearDown() override { Tracer::Global().Disable(); }
+};
+
+TEST_F(TraceTest, SpanRecordsOneEvent) {
+  { TraceSpan span("unit.work", "test"); }
+  const auto events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit.work");
+  EXPECT_EQ(std::string(events[0].cat), "test");
+  EXPECT_GE(events[0].ts_us, 0);
+  EXPECT_GE(events[0].dur_us, 0);
+  EXPECT_GT(events[0].tid, 0);
+}
+
+TEST_F(TraceTest, SpansNestByContainment) {
+  {
+    TraceSpan outer("unit.outer", "test");
+    TraceSpan inner("unit.inner", "test");
+  }
+  const auto events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by (ts, -dur): the enclosing span comes first, and the inner
+  // interval is contained in the outer one.
+  EXPECT_EQ(events[0].name, "unit.outer");
+  EXPECT_EQ(events[1].name, "unit.inner");
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_GE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us);
+}
+
+TEST_F(TraceTest, DisabledModeEmitsNothing) {
+  Tracer::Global().Disable();
+  {
+    TraceSpan span("unit.ghost", "test");
+    span.Arg("ignored", 1);
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(Tracer::Global().event_count(), 0u);
+  // The dynamic-name guard pattern: with tracing off, the name string is
+  // never even built.
+  bool name_built = false;
+  TraceSpan dynamic;
+  if (TracingEnabled()) {
+    name_built = true;
+    dynamic = TraceSpan(std::string("unit.dynamic"), "test");
+  }
+  EXPECT_FALSE(name_built);
+}
+
+TEST_F(TraceTest, EnableClearsThePreviousSession) {
+  { TraceSpan span("unit.first_session", "test"); }
+  EXPECT_EQ(Tracer::Global().event_count(), 1u);
+  Tracer::Global().Enable();
+  EXPECT_EQ(Tracer::Global().event_count(), 0u);
+  { TraceSpan span("unit.second_session", "test"); }
+  const auto events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit.second_session");
+}
+
+TEST_F(TraceTest, ArgsRenderIntoTheEvent) {
+  {
+    TraceSpan span("unit.args", "test");
+    span.Arg("rows", 128);
+    span.Arg("round", 7);
+  }
+  const auto events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].args, "\"rows\":128,\"round\":7");
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctDenseTids) {
+  { TraceSpan span("unit.main_thread", "test"); }
+  std::thread other([] { TraceSpan span("unit.other_thread", "test"); });
+  other.join();
+  const auto events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+  for (const auto& event : events) {
+    EXPECT_GT(event.tid, 0);
+    EXPECT_LE(event.tid, 64) << "tids are small and dense, not OS ids";
+  }
+}
+
+TEST_F(TraceTest, MovedFromSpanDoesNotDoubleRecord) {
+  {
+    TraceSpan span;
+    span = TraceSpan("unit.moved", "test");
+    TraceSpan stolen(std::move(span));
+  }
+  const auto events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit.moved");
+}
+
+TEST_F(TraceTest, JsonHasChromeTraceShape) {
+  {
+    TraceSpan span("unit.json \"quoted\"", "test");
+    span.Arg("n", 3);
+  }
+  const std::string json = Tracer::Global().ToJson();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos)
+      << "process_name metadata event";
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos)
+      << "complete event per span";
+  EXPECT_NE(json.find("unit.json \\\"quoted\\\""), std::string::npos)
+      << "names are JSON-escaped";
+  EXPECT_NE(json.find("\"args\":{\"n\":3}"), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteJsonRoundTripsThroughTheFilesystem) {
+  { TraceSpan span("unit.file", "test"); }
+  const std::string path = ::testing::TempDir() + "/trace_test_out.json";
+  ASSERT_TRUE(Tracer::Global().WriteJson(path).ok());
+  const auto text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("unit.file"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mysawh

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <limits>
+
+#include "util/metrics.h"
 
 namespace mysawh::gbt {
 namespace {
@@ -143,6 +146,57 @@ TEST(TrainerTest, L2ShrinksLeafValues) {
   const RegressionTree& tree = model.trees()[0];
   ASSERT_EQ(tree.num_nodes(), 3);
   EXPECT_NEAR(tree.node(tree.node(0).right).value, 0.5, 1e-9);
+}
+
+/// The histogram-pipeline node counters moved from TrainingLog into the
+/// metrics registry; training twice with identical parameters must produce
+/// identical per-run deltas through the new API.
+TEST(TrainerTest, HistNodeCountersReportedThroughRegistry) {
+  auto& registry = MetricsRegistry::Global();
+  Counter* direct = registry.GetCounter("gbt.train.hist_nodes_direct");
+  Counter* subtracted =
+      registry.GetCounter("gbt.train.hist_nodes_subtracted");
+  Counter* trees = registry.GetCounter("gbt.train.trees_grown");
+
+  const Dataset train = MakeStepData();
+  GbtParams params;
+  params.num_trees = 4;
+  params.max_depth = 3;  // deep enough for the sibling-subtraction trick
+  params.tree_method = TreeMethod::kHist;
+
+  auto train_once = [&] {
+    const int64_t d0 = direct->Value();
+    const int64_t s0 = subtracted->Value();
+    const int64_t t0 = trees->Value();
+    EXPECT_TRUE(GbtModel::Train(train, params).ok());
+    return std::array<int64_t, 3>{direct->Value() - d0,
+                                  subtracted->Value() - s0,
+                                  trees->Value() - t0};
+  };
+  const auto first = train_once();
+  const auto second = train_once();
+  EXPECT_EQ(first, second) << "training is deterministic, so the registry "
+                              "deltas must match run to run";
+  EXPECT_GT(first[0], 0) << "hist mode accumulates node histograms";
+  EXPECT_GT(first[1], 0) << "depth 3 must exercise sibling subtraction";
+  EXPECT_EQ(first[2], 4) << "one trees_grown increment per boosted tree";
+}
+
+TEST(TrainerTest, ExactModeLeavesHistCountersUntouched) {
+  auto& registry = MetricsRegistry::Global();
+  Counter* direct = registry.GetCounter("gbt.train.hist_nodes_direct");
+  Counter* subtracted =
+      registry.GetCounter("gbt.train.hist_nodes_subtracted");
+  const int64_t d0 = direct->Value();
+  const int64_t s0 = subtracted->Value();
+  const Dataset train = MakeStepData();
+  GbtParams params;
+  params.num_trees = 2;
+  params.max_depth = 3;
+  params.tree_method = TreeMethod::kExact;
+  ASSERT_TRUE(GbtModel::Train(train, params).ok());
+  EXPECT_EQ(direct->Value(), d0);
+  EXPECT_EQ(subtracted->Value(), s0);
 }
 
 TEST(TrainerTest, L1ZeroesSmallLeaves) {

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Schema checks for the observability artifacts the CLI writes.
+
+Usage:
+    check_observability_schema.py <trace.json> <metrics.json> <manifest.json>
+
+Validates, with stdlib only:
+  * the trace file is Chrome trace-event JSON: a traceEvents array whose
+    "X" events carry name/cat/ts/dur/pid/tid and nonnegative times;
+  * the metrics file has the counters/gauges/histograms layout with sorted
+    keys and structurally sound histograms (20 buckets summing to count);
+  * the run manifest has the v1 schema fields, per-cell wall/cpu timings
+    for all 12 study cells, and an embedded metrics snapshot.
+
+Exits 0 when everything holds, 1 with a message on the first violation.
+"""
+
+import json
+import sys
+
+NUM_HISTOGRAM_BUCKETS = 20
+EXPECTED_STUDY_CELLS = 12
+
+
+def fail(message):
+    print(f"schema check failed: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        trace = json.load(f)
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        fail(f"{path}: missing traceEvents")
+    events = trace["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty array")
+    complete = [e for e in events if e.get("ph") == "X"]
+    if not complete:
+        fail(f"{path}: no complete ('X') events")
+    last_ts = None
+    for event in complete:
+        for key in ("name", "cat", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                fail(f"{path}: event missing '{key}': {event}")
+        if event["ts"] < 0 or event["dur"] < 0:
+            fail(f"{path}: negative time in {event}")
+        if last_ts is not None and event["ts"] < last_ts:
+            fail(f"{path}: events not sorted by ts")
+        last_ts = event["ts"]
+    names = {e["name"] for e in complete}
+    for expected in ("cli.study", "study.cell", "gbt.train"):
+        if not any(n.startswith(expected) for n in names):
+            fail(f"{path}: expected a span named like '{expected}*', "
+                 f"have {sorted(names)[:10]}...")
+    return len(complete)
+
+
+def check_metrics_object(metrics, where):
+    for section in ("counters", "gauges", "histograms"):
+        if section not in metrics or not isinstance(metrics[section], dict):
+            fail(f"{where}: missing '{section}' object")
+        keys = list(metrics[section].keys())
+        if keys != sorted(keys):
+            fail(f"{where}: {section} keys not sorted: {keys}")
+    for name, value in metrics["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{where}: counter {name} must be a nonnegative int")
+    for name, value in metrics["gauges"].items():
+        if not isinstance(value, int):
+            fail(f"{where}: gauge {name} must be an int")
+    for name, hist in metrics["histograms"].items():
+        for key in ("count", "sum_us", "max_us", "buckets"):
+            if key not in hist:
+                fail(f"{where}: histogram {name} missing '{key}'")
+        if len(hist["buckets"]) != NUM_HISTOGRAM_BUCKETS:
+            fail(f"{where}: histogram {name} has {len(hist['buckets'])} "
+                 f"buckets, want {NUM_HISTOGRAM_BUCKETS}")
+        if sum(hist["buckets"]) != hist["count"]:
+            fail(f"{where}: histogram {name} buckets sum "
+                 f"{sum(hist['buckets'])} != count {hist['count']}")
+    return len(metrics["counters"]) + len(metrics["gauges"]) + len(
+        metrics["histograms"])
+
+
+def check_metrics(path):
+    with open(path) as f:
+        metrics = json.load(f)
+    n = check_metrics_object(metrics, path)
+    required = (
+        "file_io.writes",
+        "gbt.train.hist_nodes_direct",
+        "study.cells_computed",
+        "thread_pool.tasks_dispatched",
+    )
+    for name in required:
+        if name not in metrics["counters"]:
+            fail(f"{path}: expected counter '{name}' after a study run")
+    if "thread_pool.queue_depth" in metrics["gauges"]:
+        if metrics["gauges"]["thread_pool.queue_depth"] != 0:
+            fail(f"{path}: queue depth gauge must drain to 0 at exit")
+    return n
+
+
+def check_manifest(path):
+    with open(path) as f:
+        manifest = json.load(f)
+    if manifest.get("schema") != "mysawh-run-manifest v1":
+        fail(f"{path}: bad schema field: {manifest.get('schema')!r}")
+    for key in ("git_describe", "fingerprint", "seed", "model_family",
+                "cells", "metrics"):
+        if key not in manifest:
+            fail(f"{path}: missing '{key}'")
+    cells = manifest["cells"]
+    if len(cells) != EXPECTED_STUDY_CELLS:
+        fail(f"{path}: {len(cells)} cells, want {EXPECTED_STUDY_CELLS}")
+    for name, timing in cells.items():
+        for key in ("wall_ms", "cpu_ms", "resumed"):
+            if key not in timing:
+                fail(f"{path}: cell {name} missing '{key}'")
+        if timing["wall_ms"] < 0 or timing["cpu_ms"] < 0:
+            fail(f"{path}: cell {name} has negative timing")
+        if not isinstance(timing["resumed"], bool):
+            fail(f"{path}: cell {name} 'resumed' must be a bool")
+    check_metrics_object(manifest["metrics"], f"{path}:metrics")
+    return len(cells)
+
+
+def main(argv):
+    if len(argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    events = check_trace(argv[1])
+    instruments = check_metrics(argv[2])
+    cells = check_manifest(argv[3])
+    print(f"ok: {events} trace events, {instruments} instruments, "
+          f"{cells} manifest cells")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -18,6 +18,7 @@
 #include "cohort/simulator.h"
 #include "core/evaluation.h"
 #include "core/metrics.h"
+#include "core/run_manifest.h"
 #include "core/sample_builder.h"
 #include "core/study.h"
 #include "explain/explanation.h"
@@ -29,8 +30,10 @@
 #include "util/csv.h"
 #include "util/file_io.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/trace.h"
 
 namespace mysawh {
 namespace {
@@ -68,12 +71,24 @@ commands:
   study      [--seed 42] [--model_family gbt|linear|gam] [--threads 0]
              [--cv-folds 5] [--out REPORT.md]
              [--checkpoint-dir DIR] [--resume]
+             [--manifest-out FILE]   (default <out>.manifest.json)
              Runs the paper's full 12-cell DD-vs-KD study and writes the
              Markdown report. With --checkpoint-dir, each finished cell is
              persisted (atomic + checksummed); with --resume, valid
              checkpoints are loaded instead of re-trained, so a killed
              study continues where it stopped and produces a report
-             bit-identical to an uninterrupted run.
+             bit-identical to an uninterrupted run. A run manifest (source
+             revision, config fingerprint, per-cell wall/CPU cost, metrics
+             snapshot) is always written as a sidecar; the report itself
+             never changes.
+
+observability flags (every command):
+  --trace-out FILE    record a span timeline and write Chrome/Perfetto
+                      trace JSON (open in https://ui.perfetto.dev); with
+                      the flag absent, tracing costs one atomic load per
+                      span and outputs are bit-identical
+  --metrics-out FILE  write the process metrics snapshot (counters,
+                      gauges, latency histograms) as deterministic JSON
 
 exit codes:
   0  success (including explicit `help`)
@@ -354,6 +369,10 @@ Status RunStudy(const FlagParser& flags) {
                                        "report_write"));
   std::cout << "wrote study report (" << result.cells.size()
             << " cells) to " << out << "\n";
+  std::string manifest_out = flags.GetString("manifest-out");
+  if (manifest_out.empty()) manifest_out = out + ".manifest.json";
+  MYSAWH_RETURN_NOT_OK(core::WriteRunManifest(manifest_out, config, result));
+  std::cout << "wrote run manifest to " << manifest_out << "\n";
   return Status::Ok();
 }
 
@@ -364,27 +383,55 @@ int Main(int argc, const char* const* argv) {
     return 2;
   }
   const FlagParser& flags = *flags_or;
+  // Observability flags apply to every command: --trace-out starts a span
+  // session around the whole command, --metrics-out snapshots the registry
+  // after it finishes. Both default off; off costs one atomic load per
+  // span and outputs stay bit-identical.
+  const std::string trace_out = flags.GetString("trace-out");
+  const std::string metrics_out = flags.GetString("metrics-out");
+  if (!trace_out.empty()) Tracer::Global().Enable();
   Status status;
-  if (flags.command() == "generate") {
-    status = RunGenerate(flags);
-  } else if (flags.command() == "train") {
-    status = RunTrain(flags);
-  } else if (flags.command() == "predict") {
-    status = RunPredict(flags);
-  } else if (flags.command() == "evaluate") {
-    status = RunEvaluate(flags);
-  } else if (flags.command() == "explain") {
-    status = RunExplain(flags);
-  } else if (flags.command() == "importance") {
-    status = RunImportance(flags);
-  } else if (flags.command() == "study") {
-    status = RunStudy(flags);
-  } else if (flags.command() == "help" || flags.command().empty()) {
-    std::cout << kUsage;
-    return flags.command().empty() ? 2 : 0;
-  } else {
-    std::cerr << "unknown command: " << flags.command() << "\n" << kUsage;
-    return 2;
+  {
+    TraceSpan command_span;
+    if (TracingEnabled() && !flags.command().empty()) {
+      command_span = TraceSpan("cli." + flags.command(), "cli");
+    }
+    if (flags.command() == "generate") {
+      status = RunGenerate(flags);
+    } else if (flags.command() == "train") {
+      status = RunTrain(flags);
+    } else if (flags.command() == "predict") {
+      status = RunPredict(flags);
+    } else if (flags.command() == "evaluate") {
+      status = RunEvaluate(flags);
+    } else if (flags.command() == "explain") {
+      status = RunExplain(flags);
+    } else if (flags.command() == "importance") {
+      status = RunImportance(flags);
+    } else if (flags.command() == "study") {
+      status = RunStudy(flags);
+    } else if (flags.command() == "help" || flags.command().empty()) {
+      std::cout << kUsage;
+      return flags.command().empty() ? 2 : 0;
+    } else {
+      std::cerr << "unknown command: " << flags.command() << "\n" << kUsage;
+      return 2;
+    }
+  }
+  if (!metrics_out.empty()) {
+    const Status written = WriteFileAtomic(
+        metrics_out, MetricsRegistry::Global().SnapshotJson(),
+        "metrics_write");
+    if (!written.ok() && status.ok()) status = written;
+    if (written.ok()) std::cout << "wrote metrics to " << metrics_out << "\n";
+  }
+  if (!trace_out.empty()) {
+    const Status written = Tracer::Global().WriteJson(trace_out);
+    if (!written.ok() && status.ok()) status = written;
+    if (written.ok()) {
+      std::cout << "wrote trace (" << Tracer::Global().event_count()
+                << " events) to " << trace_out << "\n";
+    }
   }
   if (!status.ok()) {
     std::cerr << "error: " << status.ToString() << "\n";
