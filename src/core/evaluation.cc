@@ -1,11 +1,14 @@
 #include "core/evaluation.h"
 
 #include <cmath>
+#include <limits>
+#include <sstream>
 #include <utility>
 
 #include "data/split.h"
 #include "linear/linear_model.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 
 namespace mysawh::core {
 
@@ -79,11 +82,13 @@ ModelFamilyConfig DefaultModelConfig(Outcome outcome, Approach approach,
 }
 
 Result<std::unique_ptr<model::Model>> TrainModel(
-    const Dataset& train, Outcome outcome, const ModelFamilyConfig& config) {
+    const Dataset& train, Outcome outcome, const ModelFamilyConfig& config,
+    const Dataset* validation) {
   switch (config.family) {
     case ModelFamily::kGbt: {
-      MYSAWH_ASSIGN_OR_RETURN(gbt::GbtModel model,
-                              gbt::GbtModel::Train(train, config.gbt));
+      MYSAWH_ASSIGN_OR_RETURN(
+          gbt::GbtModel model,
+          gbt::GbtModel::Train(train, config.gbt, validation));
       return std::unique_ptr<model::Model>(
           new gbt::GbtModel(std::move(model)));
     }
@@ -232,13 +237,22 @@ Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,
   }
   std::vector<RegressionMetrics> fold_reg;
   std::vector<ClassificationMetrics> fold_cls;
-  for (const Fold& fold : folds) {
+  for (size_t fold_index = 0; fold_index < folds.size(); ++fold_index) {
+    const Fold& fold = folds[fold_index];
     MYSAWH_ASSIGN_OR_RETURN(Dataset fold_train,
                             result.train.Take(fold.train));
     MYSAWH_ASSIGN_OR_RETURN(Dataset fold_valid,
                             result.train.Take(fold.validation));
-    MYSAWH_ASSIGN_OR_RETURN(std::unique_ptr<model::Model> model,
-                            TrainModel(fold_train, outcome, config));
+    // With telemetry on, the fold's held-out side is tracked per boosting
+    // round (stream "<context>/cv<k>/train"). Early stopping is off in the
+    // study protocol, so the trained model — and therefore every reported
+    // metric — is bit-identical whether or not the validation set is
+    // passed through.
+    TelemetryScope fold_scope("cv" + std::to_string(fold_index));
+    MYSAWH_ASSIGN_OR_RETURN(
+        std::unique_ptr<model::Model> model,
+        TrainModel(fold_train, outcome, config,
+                   TelemetryEnabled() ? &fold_valid : nullptr));
     MYSAWH_ASSIGN_OR_RETURN(std::vector<double> preds,
                             model->PredictBatch(fold_valid));
     if (result.is_classification) {
@@ -258,8 +272,13 @@ Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,
   result.cv_classification = MeanClassification(fold_cls);
 
   // Final model on all train rows, evaluated on the held-out test rows.
-  MYSAWH_ASSIGN_OR_RETURN(result.model,
-                          TrainModel(result.train, outcome, config));
+  {
+    TelemetryScope final_scope("final");
+    MYSAWH_ASSIGN_OR_RETURN(
+        result.model,
+        TrainModel(result.train, outcome, config,
+                   TelemetryEnabled() ? &result.test : nullptr));
+  }
   MYSAWH_ASSIGN_OR_RETURN(std::vector<double> test_preds,
                           result.model->PredictBatch(result.test));
   if (result.is_classification) {
@@ -271,6 +290,39 @@ Result<ExperimentResult> RunExperiment(const Dataset& samples, Outcome outcome,
     MYSAWH_ASSIGN_OR_RETURN(
         result.test_regression,
         ComputeRegressionMetrics(result.test.labels(), test_preds));
+  }
+
+  // With telemetry on and a tree model, record the held-out learning curve
+  // in the paper's headline metric (AUC for classification, MAPE for
+  // regression) — the trainer's stream only carries the objective loss.
+  if (TelemetryEnabled() && result.gbt_model() != nullptr) {
+    TelemetryScope final_scope("final");
+    MYSAWH_ASSIGN_OR_RETURN(std::vector<std::vector<double>> stages,
+                            result.gbt_model()->PredictStaged(result.test, 1));
+    TelemetryStream eval = Telemetry::Global().StartStream("eval");
+    if (eval.active()) {
+      const char* metric = result.is_classification ? "auc" : "mape";
+      std::ostringstream header;
+      header << "\"metric\":\"" << metric << "\",\"rows\":"
+             << result.test.num_rows() << ",\"stages\":" << stages.size();
+      eval.Line("header", header.str());
+      for (size_t stage = 0; stage < stages.size(); ++stage) {
+        double value = std::numeric_limits<double>::quiet_NaN();
+        if (result.is_classification) {
+          Result<double> auc = RocAuc(result.test.labels(), stages[stage]);
+          if (auc.ok()) value = *auc;
+        } else {
+          Result<RegressionMetrics> m =
+              ComputeRegressionMetrics(result.test.labels(), stages[stage]);
+          if (m.ok()) value = m->mape;
+        }
+        std::ostringstream line;
+        line << "\"round\":" << stage << ",\"value\":"
+             << TelemetryDouble(value);
+        eval.Line("eval", line.str());
+      }
+      eval.Finish();
+    }
   }
   return result;
 }

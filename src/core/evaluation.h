@@ -102,9 +102,12 @@ ModelFamilyConfig DefaultModelConfig(Outcome outcome, Approach approach,
 
 /// Trains one model of the configured family on `train`. The linear family
 /// resolves to logistic regression for classification outcomes.
-Result<std::unique_ptr<model::Model>> TrainModel(const Dataset& train,
-                                                 Outcome outcome,
-                                                 const ModelFamilyConfig& config);
+/// `validation`, when non-null, is tracked per boosting round by the GBT
+/// family (for telemetry learning curves; other families ignore it) — it
+/// never changes the trained model unless early stopping is configured.
+Result<std::unique_ptr<model::Model>> TrainModel(
+    const Dataset& train, Outcome outcome, const ModelFamilyConfig& config,
+    const Dataset* validation = nullptr);
 
 /// Runs one experiment cell on a sample set (pass SampleSets::dd, dd_fi,
 /// kd or kd_fi; `approach`/`with_fi` are recorded as metadata): splits

@@ -75,6 +75,15 @@ std::string BuildRunManifestJson(const StudyConfig& config,
        << "\"resumed\":" << (timing.resumed ? "true" : "false") << "}";
   }
   os << "},";
+  os << "\"data_quality\":{";
+  first = true;
+  for (const auto& [key, profile] : result.profiles) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(StudyCellName(key))
+       << "\":" << DataQualityJson(profile);
+  }
+  os << "},";
   os << "\"metrics\":" << MetricsRegistry::Global().SnapshotJson();
   os << "}";
   return os.str();

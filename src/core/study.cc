@@ -17,6 +17,7 @@
 #include "util/metrics.h"
 #include "util/serialization.h"
 #include "util/string_util.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
@@ -218,6 +219,10 @@ Result<StudyResult> RunFullStudy(const StudyConfig& config) {
     if (TracingEnabled()) {
       cell_span = TraceSpan("study.cell/" + StudyCellName(key), "study");
     }
+    // Each cell runs wholly on one pool thread, so a thread-local telemetry
+    // context uniquely labels its streams ("QoL-DD-fi0/cv2/train", ...)
+    // regardless of which worker picked the cell up.
+    TelemetryScope cell_scope(StudyCellName(key));
     ScopedLatencyTimer cell_timer(Metrics().cell_us);
     const auto wall_start = std::chrono::steady_clock::now();
     const double cpu_start = ThreadCpuMillis();
@@ -272,6 +277,20 @@ Result<StudyResult> RunFullStudy(const StudyConfig& config) {
                             std::move(outcomes_by_cell[i]));
     study.cells.emplace(key, std::move(result));
     study.timings.emplace(key, timings_by_cell[i]);
+  }
+  // Profile each cell's train/test partition for the run manifest. Pure
+  // function of the datasets, so this adds no nondeterminism and never
+  // influences the metrics above. Cells resumed from a checkpoint carry
+  // only their metrics, not their partitions, so they have no profile.
+  {
+    TraceSpan profile_span("study.profile_cells", "study");
+    for (auto& [key, cell] : study.cells) {
+      if (cell.train.num_rows() == 0 || cell.test.num_rows() == 0) continue;
+      MYSAWH_ASSIGN_OR_RETURN(
+          DataQualityProfile profile,
+          ProfilePartition(cell.train, cell.test, cell.is_classification));
+      study.profiles.emplace(key, std::move(profile));
+    }
   }
   return study;
 }

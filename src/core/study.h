@@ -5,6 +5,7 @@
 #include <string>
 
 #include "cohort/cohort.h"
+#include "core/data_profile.h"
 #include "core/evaluation.h"
 #include "core/sample_builder.h"
 #include "util/status.h"
@@ -75,6 +76,10 @@ struct StudyResult {
   std::map<StudyCellKey, ExperimentResult> cells;
   /// Per-cell cost, keyed like `cells` (see CellTiming).
   std::map<StudyCellKey, CellTiming> timings;
+  /// Per-cell train/test data-quality profile, keyed like `cells`.
+  /// Surfaced through the run manifest's `data_quality` block; ToMarkdown()
+  /// never reads it, so REPORT.md is unaffected by profiling.
+  std::map<StudyCellKey, DataQualityProfile> profiles;
   int64_t total_candidates = 0;
   int64_t retained = 0;
   GapStats gap_stats;

@@ -295,4 +295,30 @@ Result<BinnedData> BuildBinned(const Dataset& data, int max_bins,
   return out;
 }
 
+std::vector<BinOccupancy> ComputeBinOccupancy(const FeatureBins& bins,
+                                              const BinnedMatrix& matrix) {
+  const int64_t nf = matrix.num_features();
+  const int64_t n = matrix.num_rows();
+  std::vector<BinOccupancy> occupancy(static_cast<size_t>(nf));
+  std::vector<int64_t> counts;
+  for (int64_t f = 0; f < nf; ++f) {
+    BinOccupancy& entry = occupancy[static_cast<size_t>(f)];
+    entry.num_bins = bins.num_bins(f);
+    counts.assign(static_cast<size_t>(entry.num_bins), 0);
+    for (int64_t r = 0; r < n; ++r) {
+      const uint16_t b = matrix.At(r, f);
+      if (b == kMissingBin) {
+        ++entry.missing;
+      } else {
+        ++counts[b];
+      }
+    }
+    for (int64_t c : counts) {
+      if (c > 0) ++entry.occupied_bins;
+      entry.max_bin_count = std::max(entry.max_bin_count, c);
+    }
+  }
+  return occupancy;
+}
+
 }  // namespace mysawh::gbt

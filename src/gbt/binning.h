@@ -102,6 +102,22 @@ class BinnedData {
   BinnedMatrix matrix;
 };
 
+/// Per-feature occupancy of a quantized matrix — how well the histogram
+/// resolution is actually used. Consumed by the data-quality profile
+/// (core/data_profile.h) attached to every study cell's run manifest.
+struct BinOccupancy {
+  int num_bins = 0;           ///< Bins defined by the feature's cuts.
+  int occupied_bins = 0;      ///< Bins holding at least one row.
+  int64_t missing = 0;        ///< Rows with the missing sentinel.
+  int64_t max_bin_count = 0;  ///< Rows in the fullest bin.
+};
+
+/// Counts per-bin occupancy of every feature. Deterministic (a pure
+/// function of the quantized matrix); intended for profiling, not hot
+/// paths.
+std::vector<BinOccupancy> ComputeBinOccupancy(const FeatureBins& bins,
+                                              const BinnedMatrix& matrix);
+
 /// Builds the cut points and the quantized matrix in one fused pass: each
 /// feature is sorted once as (value, row) pairs, the cuts are derived from
 /// the distinct values of that ordering, and bins are assigned by walking

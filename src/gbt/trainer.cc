@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/telemetry.h"
 #include "util/trace.h"
 
 namespace mysawh::gbt {
@@ -605,6 +607,28 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
   double best_metric = std::numeric_limits<double>::infinity();
   int best_round = -1;
 
+  // Training telemetry (util/telemetry.h): a per-round JSONL stream of the
+  // train/valid metric plus cumulative per-feature split statistics. The
+  // disabled path is one relaxed load; when enabled, per-round metrics are
+  // computed even without a validation set or TrainingLog. Recording never
+  // feeds back into training, so the model is bit-identical either way.
+  TelemetryStream telemetry;
+  std::vector<int64_t> feature_split_counts;
+  std::vector<double> feature_split_gains;
+  if (TelemetryEnabled()) {
+    telemetry = Telemetry::Global().StartStream("train");
+    std::ostringstream header;
+    header << "\"objective\":\"" << ObjectiveTypeName(params_.objective)
+           << "\",\"metric\":\"" << objective_->DefaultMetricName()
+           << "\",\"rows\":" << n << ",\"features\":" << nf
+           << ",\"num_trees\":" << params_.num_trees
+           << ",\"max_depth\":" << params_.max_depth << ",\"learning_rate\":"
+           << TelemetryDouble(params_.learning_rate);
+    telemetry.Line("header", header.str());
+    feature_split_counts.assign(static_cast<size_t>(nf), 0);
+    feature_split_gains.assign(static_cast<size_t>(nf), 0.0);
+  }
+
   for (int round = 0; round < params_.num_trees; ++round) {
     TraceSpan tree_span("gbt.tree", "train");
     tree_span.Arg("round", round);
@@ -651,6 +675,19 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
 
     RegressionTree tree = GrowTree(gpairs, std::move(rows), features);
 
+    int tree_splits = 0;
+    double tree_gain = 0.0;
+    if (telemetry.active()) {
+      for (int i = 0; i < tree.num_nodes(); ++i) {
+        const TreeNode& node = tree.node(i);
+        if (node.IsLeaf()) continue;
+        ++tree_splits;
+        tree_gain += node.gain;
+        feature_split_counts[static_cast<size_t>(node.feature)] += 1;
+        feature_split_gains[static_cast<size_t>(node.feature)] += node.gain;
+      }
+    }
+
     {
       // Update cached raw scores (all rows, not just the subsample).
       TraceSpan span("gbt.update_scores", "train");
@@ -669,7 +706,7 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
     // Metrics.
     double train_metric = std::numeric_limits<double>::quiet_NaN();
     double valid_metric = std::numeric_limits<double>::quiet_NaN();
-    if (log != nullptr || validation != nullptr) {
+    if (log != nullptr || validation != nullptr || telemetry.active()) {
       std::vector<double> preds(static_cast<size_t>(n));
       pool_.ParallelFor(n, [&](int64_t i) {
         preds[static_cast<size_t>(i)] =
@@ -688,6 +725,14 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
     if (log != nullptr) {
       log->rounds.push_back({round, train_metric, valid_metric});
     }
+    if (telemetry.active()) {
+      std::ostringstream line;
+      line << "\"round\":" << round << ",\"train\":"
+           << TelemetryDouble(train_metric) << ",\"valid\":"
+           << TelemetryDouble(valid_metric) << ",\"splits\":" << tree_splits
+           << ",\"gain\":" << TelemetryDouble(tree_gain);
+      telemetry.Line("round", line.str());
+    }
     if (validation != nullptr) {
       if (valid_metric < best_metric) {
         best_metric = valid_metric;
@@ -705,6 +750,30 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
     model.best_iteration_ = best_round;
   } else {
     model.best_iteration_ = static_cast<int>(model.trees_.size()) - 1;
+  }
+  if (telemetry.active()) {
+    // Cumulative per-feature split statistics over the whole run (early
+    // stopping trims the model, not this tally — the stream records what
+    // training did, not what survived).
+    std::ostringstream line;
+    line << "\"names\":[";
+    const auto& names = train_.feature_names();
+    for (size_t f = 0; f < names.size(); ++f) {
+      line << (f == 0 ? "" : ",") << "\"" << TelemetryJsonEscape(names[f])
+           << "\"";
+    }
+    line << "],\"split_counts\":[";
+    for (size_t f = 0; f < feature_split_counts.size(); ++f) {
+      line << (f == 0 ? "" : ",") << feature_split_counts[f];
+    }
+    line << "],\"split_gains\":[";
+    for (size_t f = 0; f < feature_split_gains.size(); ++f) {
+      line << (f == 0 ? "" : ",") << TelemetryDouble(feature_split_gains[f]);
+    }
+    line << "],\"trees\":" << model.trees_.size()
+         << ",\"best_iteration\":" << model.best_iteration_;
+    telemetry.Line("features", line.str());
+    telemetry.Finish();
   }
   // Flush the per-run node counters into the registry in one shot: the
   // recursion stays free of atomics, and the registry still sees exact

@@ -117,6 +117,22 @@ Result<std::string> ReadFileToString(const std::string& path) {
   return content;
 }
 
+Status CheckWritable(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("artifact path is empty");
+  }
+  const std::string probe =
+      path + ".probe." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(probe.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument(
+        ErrnoMessage("cannot write artifact path", path));
+  }
+  ::close(fd);
+  ::unlink(probe.c_str());
+  return Status::Ok();
+}
+
 Status WriteFileAtomic(const std::string& path, const std::string& content,
                        const std::string& failpoint_prefix) {
   TraceSpan span("file_io.write_atomic", "io");

@@ -21,6 +21,14 @@ namespace mysawh {
 /// Reads the whole file. IoError when the file cannot be opened or read.
 Result<std::string> ReadFileToString(const std::string& path);
 
+/// Probes that `path` can be created by the atomic-write protocol: opens
+/// and unlinks `path`.probe.<pid> in the destination directory. Returns
+/// `InvalidArgument` naming the path when the directory is missing or not
+/// writable, so CLI flag handlers can reject bad artifact paths up front
+/// (exit code 2) instead of losing a long run's output at the final write.
+/// An existing file at `path` itself is fine — atomic replace handles it.
+Status CheckWritable(const std::string& path);
+
 /// Atomically replaces `path` with `content`: writes `path`.tmp.<pid>,
 /// fsyncs it, renames it over `path`, and fsyncs the parent directory. On
 /// any failure the destination keeps its previous content (or stays

@@ -96,4 +96,35 @@ test "$code" -eq 2 || { echo "malformed csv must exit 2, got $code" >&2; exit 1;
 code_of "$CLI" study --resume
 test "$code" -eq 2 || { echo "--resume without dir must exit 2, got $code" >&2; exit 1; }
 
+# --- unwritable artifact paths fail fast with exit 2 ----------------------
+# The observability flags probe their destinations before the command runs,
+# so a bad path is a usage error up front, not data loss at the end.
+for flag in --trace-out --metrics-out --telemetry-out; do
+  code_of "$CLI" evaluate "$flag" /does/not/exist/artifact.json
+  test "$code" -eq 2 || { echo "$flag to a bad path must exit 2, got $code" >&2; exit 1; }
+done
+
+# --- telemetry artifact and the report dashboard --------------------------
+"$CLI" train --data smoke_dd_fi.csv --num-trees 25 --out smoke2.model \
+  --telemetry-out smoke.telemetry.jsonl | grep -q "wrote telemetry (1 streams)"
+test -f smoke.telemetry.jsonl
+head -1 smoke.telemetry.jsonl | grep -q '"schema":"mysawh-telemetry v1"'
+grep -q '"stream":"train","type":"round","round":24' smoke.telemetry.jsonl
+grep -q '"type":"features"' smoke.telemetry.jsonl
+
+# Telemetry recording never changes what is trained.
+cmp smoke.model smoke2.model || { echo "telemetry changed the model" >&2; exit 1; }
+
+"$CLI" report --telemetry smoke.telemetry.jsonl --out smoke_dash.md \
+  | grep -q "wrote dashboard"
+grep -q "Learning curves" smoke_dash.md
+grep -q "| train |" smoke_dash.md
+
+# report needs at least one input, and rejects non-artifact files, as
+# usage errors.
+code_of "$CLI" report
+test "$code" -eq 2 || { echo "report without inputs must exit 2, got $code" >&2; exit 1; }
+code_of "$CLI" report --manifest smoke_dd_fi.csv
+test "$code" -eq 2 || { echo "report on a CSV must exit 2, got $code" >&2; exit 1; }
+
 echo "cli smoke test passed"

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "gbt/gbt_model.h"
+#include "util/telemetry.h"
 
 namespace mysawh::gbt {
 namespace {
@@ -77,6 +78,48 @@ TEST_P(DeterminismTest, BitIdenticalAcrossThreadCounts) {
 INSTANTIATE_TEST_SUITE_P(Methods, DeterminismTest,
                          ::testing::Values(TreeMethod::kHist,
                                            TreeMethod::kExact));
+
+TEST(DeterminismTest, TelemetryBitIdenticalAcrossThreadCounts) {
+  // The telemetry artifact is part of the determinism contract: streams
+  // buffer per producer and serialize in sorted label order, so the JSONL
+  // must be byte-identical for any worker count.
+  const Dataset train = MakeData(3000);
+  const Dataset valid = MakeData(500);
+  GbtParams params = BaseParams(TreeMethod::kHist);
+  std::string reference;
+  for (int threads : {1, 2, 8}) {
+    params.num_threads = threads;
+    Telemetry::Global().Enable();
+    ASSERT_TRUE(GbtModel::Train(train, params, &valid).ok());
+    const std::string jsonl = Telemetry::Global().ToJsonl();
+    Telemetry::Global().Disable();
+    ASSERT_FALSE(jsonl.empty());
+    EXPECT_NE(jsonl.find("\"schema\":\"mysawh-telemetry v1\""),
+              std::string::npos);
+    EXPECT_NE(jsonl.find("\"valid\":"), std::string::npos);
+    if (threads == 1) {
+      reference = jsonl;
+    } else {
+      EXPECT_EQ(jsonl, reference) << "num_threads=" << threads;
+    }
+  }
+}
+
+TEST(DeterminismTest, TelemetryRecordingDoesNotChangeModel) {
+  // Recording telemetry (and passing a validation set for the learning
+  // curve) must never feed back into training: the serialized model with
+  // telemetry on equals the plain run bit for bit.
+  const Dataset train = MakeData(1500);
+  const Dataset valid = MakeData(300);
+  const GbtParams params = BaseParams(TreeMethod::kHist);
+  const std::string plain =
+      GbtModel::Train(train, params).value().Serialize();
+  Telemetry::Global().Enable();
+  const std::string instrumented =
+      GbtModel::Train(train, params, &valid).value().Serialize();
+  Telemetry::Global().Disable();
+  EXPECT_EQ(instrumented, plain);
+}
 
 TEST(DeterminismTest, FastSplitPathMatchesGenericPath) {
   // All-zero monotone constraints force the generic ConsiderSplit scan;

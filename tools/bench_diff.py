@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare two Google Benchmark JSON outputs for performance regressions.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 0.10]
+                        [--strict]
+
+Matches benchmarks by name and reports the relative real_time delta for
+each. A benchmark is flagged when it is more than ``--threshold`` (default
+10%) slower than the baseline. Without ``--strict`` the script always
+exits 0 (CI runs it as a non-blocking trend signal — shared-runner noise
+easily exceeds 10%); with ``--strict`` any flagged regression exits 1.
+
+Benchmarks present on only one side are reported but never flagged: added
+or removed benchmarks are a code-review concern, not a perf regression.
+
+Only the Python standard library is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path: str) -> dict[str, dict]:
+    """Returns {name: benchmark entry} for aggregate-free entries."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    benchmarks = {}
+    for entry in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions); the raw
+        # entries carry run_type "iteration" (or no run_type at all in
+        # older library versions).
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        benchmarks[entry["name"]] = entry
+    return benchmarks
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("current", help="current benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative real_time slowdown that counts as a regression "
+        "(default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any benchmark regresses past the threshold",
+    )
+    args = parser.parse_args()
+
+    try:
+        baseline = load_benchmarks(args.baseline)
+        current = load_benchmarks(args.current)
+    except (OSError, json.JSONDecodeError, KeyError) as error:
+        print(f"bench_diff: cannot load input: {error}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    names = sorted(set(baseline) | set(current))
+    width = max((len(n) for n in names), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name in names:
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None or cur is None:
+            side = "baseline" if cur is None else "current"
+            print(f"{name:<{width}}  only in {side}")
+            continue
+        base_time = float(base["real_time"])
+        cur_time = float(cur["real_time"])
+        unit = base.get("time_unit", "ns")
+        delta = (cur_time - base_time) / base_time if base_time > 0 else 0.0
+        marker = ""
+        if delta > args.threshold:
+            marker = "  << REGRESSION"
+            regressions.append((name, delta))
+        elif delta < -args.threshold:
+            marker = "  (improved)"
+        print(
+            f"{name:<{width}}  {base_time:>10.2f}{unit:>2}  "
+            f"{cur_time:>10.2f}{unit:>2}  {delta:+7.1%}{marker}"
+        )
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) slower than baseline by "
+            f"more than {args.threshold:.0%}:"
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        if args.strict:
+            return 1
+    else:
+        print(f"\nno regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

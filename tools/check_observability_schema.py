@@ -3,6 +3,7 @@
 
 Usage:
     check_observability_schema.py <trace.json> <metrics.json> <manifest.json>
+                                  [telemetry.jsonl]
 
 Validates, with stdlib only:
   * the trace file is Chrome trace-event JSON: a traceEvents array whose
@@ -10,7 +11,12 @@ Validates, with stdlib only:
   * the metrics file has the counters/gauges/histograms layout with sorted
     keys and structurally sound histograms (20 buckets summing to count);
   * the run manifest has the v1 schema fields, per-cell wall/cpu timings
-    for all 12 study cells, and an embedded metrics snapshot.
+    for all 12 study cells, data-quality profiles for every non-resumed
+    cell, and an embedded metrics snapshot;
+  * the telemetry file (when given) is mysawh-telemetry v1 JSONL: a header
+    line with the stream count, streams in sorted label order, contiguous
+    per-stream lines with monotonically increasing rounds, and "features"
+    lines whose name/count/gain arrays align.
 
 Exits 0 when everything holds, 1 with a message on the first violation.
 """
@@ -102,13 +108,50 @@ def check_metrics(path):
     return n
 
 
+def check_data_quality(quality, path):
+    for name, profile in quality.items():
+        for key in ("train_rows", "test_rows", "num_features", "outcome",
+                    "features", "max_missing_train", "max_missing_feature",
+                    "max_drift", "max_drift_feature", "mean_bin_occupancy"):
+            if key not in profile:
+                fail(f"{path}: data_quality[{name}] missing '{key}'")
+        if profile["train_rows"] <= 0 or profile["test_rows"] <= 0:
+            fail(f"{path}: data_quality[{name}] has empty partitions")
+        outcome = profile["outcome"]
+        if not isinstance(outcome.get("classification"), bool):
+            fail(f"{path}: data_quality[{name}] outcome.classification "
+                 f"must be a bool")
+        if outcome["classification"]:
+            for key in ("positives_train", "positives_test"):
+                if key not in outcome:
+                    fail(f"{path}: data_quality[{name}] classification "
+                         f"outcome missing '{key}'")
+        features = profile["features"]
+        if len(features) != profile["num_features"]:
+            fail(f"{path}: data_quality[{name}] has {len(features)} "
+                 f"feature profiles, claims {profile['num_features']}")
+        for feature in features:
+            for key in ("name", "missing_train", "missing_test", "drift",
+                        "num_bins", "occupied_bins", "max_bin_count"):
+                if key not in feature:
+                    fail(f"{path}: data_quality[{name}] feature missing "
+                         f"'{key}': {feature}")
+            for key in ("missing_train", "missing_test"):
+                if not 0.0 <= feature[key] <= 1.0:
+                    fail(f"{path}: data_quality[{name}] "
+                         f"{feature['name']}.{key} out of [0,1]")
+            if feature["occupied_bins"] > feature["num_bins"]:
+                fail(f"{path}: data_quality[{name}] {feature['name']} "
+                     f"occupies more bins than it has")
+
+
 def check_manifest(path):
     with open(path) as f:
         manifest = json.load(f)
     if manifest.get("schema") != "mysawh-run-manifest v1":
         fail(f"{path}: bad schema field: {manifest.get('schema')!r}")
     for key in ("git_describe", "fingerprint", "seed", "model_family",
-                "cells", "metrics"):
+                "cells", "data_quality", "metrics"):
         if key not in manifest:
             fail(f"{path}: missing '{key}'")
     cells = manifest["cells"]
@@ -122,19 +165,75 @@ def check_manifest(path):
             fail(f"{path}: cell {name} has negative timing")
         if not isinstance(timing["resumed"], bool):
             fail(f"{path}: cell {name} 'resumed' must be a bool")
+    check_data_quality(manifest["data_quality"], path)
+    # Resumed cells are restored from checkpointed metrics without their
+    # train/test partitions, so only freshly computed cells are profiled.
+    computed = {name for name, t in cells.items() if not t["resumed"]}
+    if set(manifest["data_quality"]) != computed:
+        fail(f"{path}: data_quality must cover exactly the non-resumed "
+             f"cells ({sorted(computed)}), got "
+             f"{sorted(manifest['data_quality'])}")
     check_metrics_object(manifest["metrics"], f"{path}:metrics")
     return len(cells)
 
 
+def check_telemetry(path):
+    with open(path) as f:
+        lines = [line for line in f.read().splitlines() if line]
+    if not lines:
+        fail(f"{path}: empty telemetry file")
+    header = json.loads(lines[0])
+    if header.get("schema") != "mysawh-telemetry v1":
+        fail(f"{path}: bad schema line: {lines[0][:80]}")
+    stream_order = []
+    rounds = {}
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(f"{path}:{i}: not JSON: {error}")
+        stream = entry.get("stream")
+        kind = entry.get("type")
+        if not stream or not kind:
+            fail(f"{path}:{i}: line lacks stream/type")
+        if stream not in stream_order:
+            stream_order.append(stream)
+        elif stream != stream_order[-1]:
+            fail(f"{path}:{i}: stream '{stream}' lines not contiguous")
+        if kind == "round":
+            expected = rounds.get(stream, 0)
+            if entry.get("round") != expected:
+                fail(f"{path}:{i}: stream '{stream}' round "
+                     f"{entry.get('round')}, want {expected}")
+            rounds[stream] = expected + 1
+        elif kind == "features":
+            names = entry.get("names", [])
+            counts = entry.get("split_counts", [])
+            gains = entry.get("split_gains", [])
+            if not (len(names) == len(counts) == len(gains)):
+                fail(f"{path}:{i}: features arrays misaligned "
+                     f"({len(names)}/{len(counts)}/{len(gains)})")
+    if header.get("streams") != len(stream_order):
+        fail(f"{path}: header claims {header.get('streams')} streams, "
+             f"file has {len(stream_order)}")
+    if stream_order != sorted(stream_order):
+        fail(f"{path}: streams not in sorted label order")
+    return len(stream_order)
+
+
 def main(argv):
-    if len(argv) != 4:
+    if len(argv) not in (4, 5):
         print(__doc__, file=sys.stderr)
         return 2
     events = check_trace(argv[1])
     instruments = check_metrics(argv[2])
     cells = check_manifest(argv[3])
-    print(f"ok: {events} trace events, {instruments} instruments, "
-          f"{cells} manifest cells")
+    summary = (f"ok: {events} trace events, {instruments} instruments, "
+               f"{cells} manifest cells")
+    if len(argv) == 5:
+        streams = check_telemetry(argv[4])
+        summary += f", {streams} telemetry streams"
+    print(summary)
     return 0
 
 

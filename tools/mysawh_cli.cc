@@ -8,12 +8,16 @@
 ///   explain    TreeSHAP explanation of one row (tree models only).
 ///   importance Gain / cover / split-count feature importance of a model.
 ///   study      The full 12-cell DD-vs-KD study, with checkpoint/resume.
+///   report     Markdown dashboard from a run manifest and/or telemetry.
 ///
 /// Run `mysawh_cli help` for flag documentation.
 
 #include <algorithm>
+#include <cmath>
 #include <iostream>
+#include <limits>
 #include <memory>
+#include <sstream>
 
 #include "cohort/simulator.h"
 #include "core/evaluation.h"
@@ -30,9 +34,11 @@
 #include "util/csv.h"
 #include "util/file_io.h"
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/telemetry.h"
 #include "util/trace.h"
 
 namespace mysawh {
@@ -79,16 +85,30 @@ commands:
              study continues where it stopped and produces a report
              bit-identical to an uninterrupted run. A run manifest (source
              revision, config fingerprint, per-cell wall/CPU cost, metrics
-             snapshot) is always written as a sidecar; the report itself
-             never changes.
+             snapshot, per-cell data-quality profile) is always written as
+             a sidecar; the report itself never changes.
+
+  report     [--manifest FILE] [--telemetry FILE] [--out dashboard.md]
+             Renders a Markdown dashboard from a study run manifest
+             (provenance, per-cell cost, data-quality summaries) and/or a
+             telemetry artifact (per-stream learning curves). At least one
+             input is required. tools/render_dashboard.py builds the HTML
+             variant from the same inputs.
 
 observability flags (every command):
-  --trace-out FILE    record a span timeline and write Chrome/Perfetto
-                      trace JSON (open in https://ui.perfetto.dev); with
-                      the flag absent, tracing costs one atomic load per
-                      span and outputs are bit-identical
-  --metrics-out FILE  write the process metrics snapshot (counters,
-                      gauges, latency histograms) as deterministic JSON
+  --trace-out FILE      record a span timeline and write Chrome/Perfetto
+                        trace JSON (open in https://ui.perfetto.dev); with
+                        the flag absent, tracing costs one atomic load per
+                        span and outputs are bit-identical
+  --metrics-out FILE    write the process metrics snapshot (counters,
+                        gauges, latency histograms) as deterministic JSON
+  --telemetry-out FILE  record per-iteration training telemetry (train
+                        loss, held-out metric, split statistics) and write
+                        a mysawh-telemetry v1 JSONL artifact; byte-identical
+                        for any --threads value, and REPORT.md is unchanged
+                        by recording
+  All three artifact paths are probed before the command runs; an
+  unwritable path is a usage error (exit 2).
 
 exit codes:
   0  success (including explicit `help`)
@@ -376,6 +396,231 @@ Status RunStudy(const FlagParser& flags) {
   return Status::Ok();
 }
 
+/// One telemetry stream reduced to a learning-curve summary.
+struct StreamSummary {
+  std::string label;
+  std::string metric;  ///< From the stream header ("rmse", "auc", ...).
+  std::vector<double> series;
+};
+
+/// Compact Unicode sparkline of `series` (downsampled by bucket mean); NaN
+/// buckets render as spaces.
+std::string Sparkline(const std::vector<double>& series, int width = 24) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (series.empty()) return "";
+  const int n = std::min<int>(width, static_cast<int>(series.size()));
+  std::vector<double> buckets(static_cast<size_t>(n),
+                              std::numeric_limits<double>::quiet_NaN());
+  for (int b = 0; b < n; ++b) {
+    const size_t begin = static_cast<size_t>(b) * series.size() /
+                         static_cast<size_t>(n);
+    const size_t end = static_cast<size_t>(b + 1) * series.size() /
+                       static_cast<size_t>(n);
+    double sum = 0.0;
+    int count = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (std::isnan(series[i])) continue;
+      sum += series[i];
+      ++count;
+    }
+    if (count > 0) buckets[static_cast<size_t>(b)] = sum / count;
+  }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : buckets) {
+    if (std::isnan(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (double v : buckets) {
+    if (std::isnan(v)) {
+      out += ' ';
+    } else if (hi <= lo) {
+      out += kLevels[3];
+    } else {
+      const int level = std::min(
+          7, static_cast<int>((v - lo) / (hi - lo) * 8.0));
+      out += kLevels[level];
+    }
+  }
+  return out;
+}
+
+/// Loads a mysawh-telemetry v1 JSONL artifact into per-stream summaries
+/// (in file order, which the writer keeps sorted by label). The curve
+/// prefers the held-out series: "valid" then "value" then "train".
+Result<std::vector<StreamSummary>> LoadTelemetrySummaries(
+    const std::string& path) {
+  MYSAWH_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  std::vector<StreamSummary> summaries;
+  std::map<std::string, size_t> index;
+  std::istringstream lines(text);
+  std::string line;
+  bool saw_header = false;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    MYSAWH_ASSIGN_OR_RETURN(JsonValue value, ParseJson(line));
+    if (!saw_header) {
+      if (value.StringOr("schema", "") != "mysawh-telemetry v1") {
+        return Status::InvalidArgument(
+            path + " is not a mysawh-telemetry v1 artifact");
+      }
+      saw_header = true;
+      continue;
+    }
+    const std::string stream = value.StringOr("stream", "");
+    const std::string type = value.StringOr("type", "");
+    if (stream.empty()) {
+      return Status::InvalidArgument(path + ": telemetry line lacks stream");
+    }
+    auto [it, inserted] = index.emplace(stream, summaries.size());
+    if (inserted) {
+      summaries.push_back(StreamSummary{stream, "", {}});
+    }
+    StreamSummary& summary = summaries[it->second];
+    if (type == "header") {
+      summary.metric = value.StringOr("metric", summary.metric);
+    } else if (type == "round") {
+      summary.series.push_back(
+          value.NumberOr("valid", value.NumberOr("train", nan)));
+    } else if (type == "eval") {
+      summary.series.push_back(value.NumberOr("value", nan));
+    }
+    // "features" and future line types carry no curve points.
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument(path + " is empty (no telemetry header)");
+  }
+  return summaries;
+}
+
+/// "12.3%" / "0.0421" hybrid for quality table cells: percentages for
+/// fractions, plain numbers otherwise.
+std::string Pct(double fraction) { return FormatPercent(fraction, 1); }
+
+Status RunReport(const FlagParser& flags) {
+  const std::string manifest_path = flags.GetString("manifest");
+  const std::string telemetry_path = flags.GetString("telemetry");
+  if (manifest_path.empty() && telemetry_path.empty()) {
+    return Status::InvalidArgument(
+        "report needs --manifest and/or --telemetry");
+  }
+  const std::string out = flags.GetString("out", "dashboard.md");
+
+  std::ostringstream os;
+  os << "# MySAwH run dashboard\n";
+
+  if (!manifest_path.empty()) {
+    MYSAWH_ASSIGN_OR_RETURN(std::string text,
+                            ReadFileToString(manifest_path));
+    MYSAWH_ASSIGN_OR_RETURN(JsonValue manifest, ParseJson(text));
+    if (manifest.StringOr("schema", "") != "mysawh-run-manifest v1") {
+      return Status::InvalidArgument(
+          manifest_path + " is not a mysawh-run-manifest v1 artifact");
+    }
+    os << "\n## Provenance\n\n"
+       << "| field | value |\n|---|---|\n"
+       << "| source | `" << manifest.StringOr("git_describe", "?") << "` |\n"
+       << "| model family | " << manifest.StringOr("model_family", "?")
+       << " |\n"
+       << "| cohort seed | " << FormatDouble(manifest.NumberOr("seed", 0), 0)
+       << " |\n"
+       << "| eval seed | " << FormatDouble(manifest.NumberOr("eval_seed", 0), 0)
+       << " |\n"
+       << "| fingerprint | `" << manifest.StringOr("fingerprint", "?")
+       << "` |\n";
+
+    const JsonValue* cells = manifest.Find("cells");
+    if (cells != nullptr && cells->is_object() &&
+        !cells->object_members().empty()) {
+      os << "\n## Cell cost\n\n"
+         << "| cell | wall ms | cpu ms | resumed |\n|---|---|---|---|\n";
+      double total_wall = 0.0;
+      double total_cpu = 0.0;
+      for (const auto& [name, cell] : cells->object_members()) {
+        const double wall = cell.NumberOr("wall_ms", 0.0);
+        const double cpu = cell.NumberOr("cpu_ms", 0.0);
+        total_wall += wall;
+        total_cpu += cpu;
+        const JsonValue* resumed = cell.Find("resumed");
+        os << "| " << name << " | " << FormatDouble(wall, 1) << " | "
+           << FormatDouble(cpu, 1) << " | "
+           << ((resumed != nullptr && resumed->is_bool() &&
+                resumed->bool_value())
+                   ? "yes"
+                   : "no")
+           << " |\n";
+      }
+      os << "| **total** | " << FormatDouble(total_wall, 1) << " | "
+         << FormatDouble(total_cpu, 1) << " | |\n";
+    }
+
+    const JsonValue* quality = manifest.Find("data_quality");
+    if (quality != nullptr && quality->is_object() &&
+        !quality->object_members().empty()) {
+      os << "\n## Data quality\n\n"
+         << "| cell | train/test rows | outcome | max missingness "
+         << "| max drift | bin occupancy |\n|---|---|---|---|---|---|\n";
+      for (const auto& [name, cell] : quality->object_members()) {
+        os << "| " << name << " | "
+           << FormatDouble(cell.NumberOr("train_rows", 0), 0) << "/"
+           << FormatDouble(cell.NumberOr("test_rows", 0), 0) << " | ";
+        const JsonValue* outcome = cell.Find("outcome");
+        if (outcome != nullptr && outcome->is_object()) {
+          const JsonValue* classification = outcome->Find("classification");
+          if (classification != nullptr && classification->is_bool() &&
+              classification->bool_value()) {
+            os << FormatDouble(outcome->NumberOr("positives_train", 0), 0)
+               << "+ / " << Pct(outcome->NumberOr("mean_train", 0))
+               << " pos";
+          } else {
+            os << "mean " << FormatDouble(outcome->NumberOr("mean_train", 0), 2)
+               << " ± "
+               << FormatDouble(outcome->NumberOr("stddev_train", 0), 2);
+          }
+        } else {
+          os << "?";
+        }
+        os << " | " << Pct(cell.NumberOr("max_missing_train", 0)) << " ("
+           << cell.StringOr("max_missing_feature", "-") << ") | "
+           << FormatDouble(cell.NumberOr("max_drift", 0), 3) << " ("
+           << cell.StringOr("max_drift_feature", "-") << ") | "
+           << Pct(cell.NumberOr("mean_bin_occupancy", 0)) << " |\n";
+      }
+    }
+  }
+
+  if (!telemetry_path.empty()) {
+    MYSAWH_ASSIGN_OR_RETURN(std::vector<StreamSummary> summaries,
+                            LoadTelemetrySummaries(telemetry_path));
+    os << "\n## Learning curves\n\n"
+       << "| stream | metric | rounds | first | last | curve |\n"
+       << "|---|---|---|---|---|---|\n";
+    for (const StreamSummary& summary : summaries) {
+      double first = std::numeric_limits<double>::quiet_NaN();
+      double last = std::numeric_limits<double>::quiet_NaN();
+      for (double v : summary.series) {
+        if (std::isnan(v)) continue;
+        if (std::isnan(first)) first = v;
+        last = v;
+      }
+      os << "| " << summary.label << " | "
+         << (summary.metric.empty() ? "-" : summary.metric) << " | "
+         << summary.series.size() << " | "
+         << (std::isnan(first) ? "-" : FormatDouble(first, 4)) << " | "
+         << (std::isnan(last) ? "-" : FormatDouble(last, 4)) << " | `"
+         << Sparkline(summary.series) << "` |\n";
+    }
+  }
+
+  MYSAWH_RETURN_NOT_OK(WriteFileAtomic(out, os.str(), "dashboard_write"));
+  std::cout << "wrote dashboard to " << out << "\n";
+  return Status::Ok();
+}
+
 int Main(int argc, const char* const* argv) {
   auto flags_or = FlagParser::Parse(argc - 1, argv + 1);
   if (!flags_or.ok()) {
@@ -389,7 +634,26 @@ int Main(int argc, const char* const* argv) {
   // span and outputs stay bit-identical.
   const std::string trace_out = flags.GetString("trace-out");
   const std::string metrics_out = flags.GetString("metrics-out");
+  const std::string telemetry_out = flags.GetString("telemetry-out");
+  // Probe every artifact path up front: an unwritable destination is a
+  // usage error the user should see before a long run, not after it.
+  const struct {
+    const char* flag;
+    const std::string& path;
+  } artifact_flags[] = {{"--trace-out", trace_out},
+                        {"--metrics-out", metrics_out},
+                        {"--telemetry-out", telemetry_out}};
+  for (const auto& artifact : artifact_flags) {
+    if (artifact.path.empty()) continue;
+    const Status writable = CheckWritable(artifact.path);
+    if (!writable.ok()) {
+      std::cerr << "error: " << artifact.flag << ": " << writable.message()
+                << "\n";
+      return 2;
+    }
+  }
   if (!trace_out.empty()) Tracer::Global().Enable();
+  if (!telemetry_out.empty()) Telemetry::Global().Enable();
   Status status;
   {
     TraceSpan command_span;
@@ -410,6 +674,8 @@ int Main(int argc, const char* const* argv) {
       status = RunImportance(flags);
     } else if (flags.command() == "study") {
       status = RunStudy(flags);
+    } else if (flags.command() == "report") {
+      status = RunReport(flags);
     } else if (flags.command() == "help" || flags.command().empty()) {
       std::cout << kUsage;
       return flags.command().empty() ? 2 : 0;
@@ -424,6 +690,14 @@ int Main(int argc, const char* const* argv) {
         "metrics_write");
     if (!written.ok() && status.ok()) status = written;
     if (written.ok()) std::cout << "wrote metrics to " << metrics_out << "\n";
+  }
+  if (!telemetry_out.empty()) {
+    const Status written = Telemetry::Global().WriteJsonl(telemetry_out);
+    if (!written.ok() && status.ok()) status = written;
+    if (written.ok()) {
+      std::cout << "wrote telemetry (" << Telemetry::Global().stream_count()
+                << " streams) to " << telemetry_out << "\n";
+    }
   }
   if (!trace_out.empty()) {
     const Status written = Tracer::Global().WriteJson(trace_out);

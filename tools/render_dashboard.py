@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Render a study run into a self-contained HTML dashboard.
+
+Usage:
+    tools/render_dashboard.py [--manifest manifest.json]
+                              [--telemetry telemetry.jsonl]
+                              [--out dashboard.html]
+
+Reads the run manifest (`mysawh-run-manifest v1`) and/or the telemetry
+artifact (`mysawh-telemetry v1` JSONL) that `mysawh_cli study
+--manifest-out/--telemetry-out` writes, and emits one HTML file with no
+external assets: inline SVG learning curves, per-cell timing bars, and
+data-quality tables. `mysawh_cli report` renders the Markdown flavour of
+the same inputs.
+
+Only the Python standard library is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import sys
+
+STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a202c; }
+h1, h2 { border-bottom: 1px solid #e2e8f0; padding-bottom: .3rem; }
+table { border-collapse: collapse; margin: 1rem 0; font-size: .9rem; }
+th, td { border: 1px solid #e2e8f0; padding: .3rem .6rem; text-align: left; }
+th { background: #f7fafc; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+code { background: #f7fafc; padding: 0 .2rem; }
+.bar { display: inline-block; height: .75rem; background: #4299e1; }
+.curves { display: flex; flex-wrap: wrap; gap: 1rem; }
+.curve { border: 1px solid #e2e8f0; padding: .5rem; }
+.curve .label { font-size: .8rem; font-family: monospace; }
+svg polyline { fill: none; stroke: #2b6cb0; stroke-width: 1.5; }
+"""
+
+
+def load_manifest(path):
+    with open(path, encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    if manifest.get("schema") != "mysawh-run-manifest v1":
+        raise ValueError(f"{path} is not a mysawh-run-manifest v1 artifact")
+    return manifest
+
+
+def load_telemetry(path):
+    """Returns [(label, metric, series)] in file order."""
+    streams = {}
+    order = []
+    with open(path, encoding="utf-8") as fh:
+        lines = [line for line in fh.read().splitlines() if line]
+    if not lines:
+        raise ValueError(f"{path} is empty")
+    header = json.loads(lines[0])
+    if header.get("schema") != "mysawh-telemetry v1":
+        raise ValueError(f"{path} is not a mysawh-telemetry v1 artifact")
+    for line in lines[1:]:
+        entry = json.loads(line)
+        label = entry.get("stream")
+        if label is None:
+            continue
+        if label not in streams:
+            streams[label] = {"metric": "", "series": []}
+            order.append(label)
+        stream = streams[label]
+        kind = entry.get("type")
+        if kind == "header":
+            stream["metric"] = entry.get("metric", "")
+        elif kind == "round":
+            value = entry.get("valid")
+            if value is None:
+                value = entry.get("train")
+            stream["series"].append(value)
+        elif kind == "eval":
+            stream["series"].append(entry.get("value"))
+    return [(label, streams[label]["metric"], streams[label]["series"])
+            for label in order]
+
+
+def svg_curve(series, width=220, height=60):
+    points = [(i, v) for i, v in enumerate(series) if v is not None]
+    if len(points) < 2:
+        return "<svg width='220' height='60'></svg>"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_span = max(xs) - min(xs) or 1
+    y_span = max(ys) - min(ys) or 1
+    pad = 4
+    coords = " ".join(
+        f"{pad + (x - min(xs)) / x_span * (width - 2 * pad):.1f},"
+        f"{height - pad - (y - min(ys)) / y_span * (height - 2 * pad):.1f}"
+        for x, y in points
+    )
+    return (f"<svg width='{width}' height='{height}' "
+            f"viewBox='0 0 {width} {height}'>"
+            f"<polyline points='{coords}'/></svg>")
+
+
+def render_manifest_sections(manifest, out):
+    out.append("<h2>Provenance</h2><table>")
+    for field in ("git_describe", "model_family", "seed", "eval_seed",
+                  "fingerprint"):
+        value = html.escape(str(manifest.get(field, "?")))
+        out.append(f"<tr><th>{html.escape(field)}</th>"
+                   f"<td><code>{value}</code></td></tr>")
+    out.append("</table>")
+
+    cells = manifest.get("cells", {})
+    if cells:
+        max_wall = max(cell.get("wall_ms", 0.0) for cell in cells.values())
+        out.append("<h2>Cell cost</h2><table>"
+                   "<tr><th>cell</th><th>wall ms</th><th>cpu ms</th>"
+                   "<th>resumed</th><th></th></tr>")
+        for name, cell in cells.items():
+            wall = cell.get("wall_ms", 0.0)
+            bar = int(wall / max_wall * 160) if max_wall > 0 else 0
+            out.append(
+                f"<tr><td><code>{html.escape(name)}</code></td>"
+                f"<td class='num'>{wall:.1f}</td>"
+                f"<td class='num'>{cell.get('cpu_ms', 0.0):.1f}</td>"
+                f"<td>{'yes' if cell.get('resumed') else 'no'}</td>"
+                f"<td><span class='bar' style='width:{bar}px'></span></td>"
+                f"</tr>")
+        out.append("</table>")
+
+    quality = manifest.get("data_quality", {})
+    if quality:
+        out.append("<h2>Data quality</h2><table>"
+                   "<tr><th>cell</th><th>train/test rows</th>"
+                   "<th>outcome</th><th>max missingness</th>"
+                   "<th>max drift</th><th>bin occupancy</th></tr>")
+        for name, profile in quality.items():
+            outcome = profile.get("outcome", {})
+            if outcome.get("classification"):
+                balance = (f"{outcome.get('positives_train', 0)} positives "
+                           f"({outcome.get('mean_train', 0) * 100:.1f}%)")
+            else:
+                balance = (f"mean {outcome.get('mean_train', 0):.2f} "
+                           f"&plusmn; {outcome.get('stddev_train', 0):.2f}")
+            out.append(
+                f"<tr><td><code>{html.escape(name)}</code></td>"
+                f"<td class='num'>{profile.get('train_rows', 0)}/"
+                f"{profile.get('test_rows', 0)}</td>"
+                f"<td>{balance}</td>"
+                f"<td class='num'>"
+                f"{profile.get('max_missing_train', 0) * 100:.1f}% "
+                f"({html.escape(profile.get('max_missing_feature', '-'))})"
+                f"</td>"
+                f"<td class='num'>{profile.get('max_drift', 0):.3f} "
+                f"({html.escape(profile.get('max_drift_feature', '-'))})</td>"
+                f"<td class='num'>"
+                f"{profile.get('mean_bin_occupancy', 0) * 100:.1f}%</td>"
+                f"</tr>")
+        out.append("</table>")
+
+
+def render_telemetry_section(streams, out):
+    out.append("<h2>Learning curves</h2><div class='curves'>")
+    for label, metric, series in streams:
+        finite = [v for v in series if v is not None]
+        last = f"{finite[-1]:.4f}" if finite else "-"
+        out.append(
+            f"<div class='curve'><div class='label'>"
+            f"{html.escape(label)}"
+            f"{' (' + html.escape(metric) + ')' if metric else ''} "
+            f"&rarr; {last}</div>{svg_curve(series)}</div>")
+    out.append("</div>")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--manifest", help="run manifest JSON")
+    parser.add_argument("--telemetry", help="telemetry JSONL")
+    parser.add_argument("--out", default="dashboard.html",
+                        help="output HTML path (default dashboard.html)")
+    args = parser.parse_args()
+    if not args.manifest and not args.telemetry:
+        print("render_dashboard: need --manifest and/or --telemetry",
+              file=sys.stderr)
+        return 2
+
+    out = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>MySAwH run dashboard</title>",
+        f"<style>{STYLE}</style></head><body>",
+        "<h1>MySAwH run dashboard</h1>",
+    ]
+    try:
+        if args.manifest:
+            render_manifest_sections(load_manifest(args.manifest), out)
+        if args.telemetry:
+            render_telemetry_section(load_telemetry(args.telemetry), out)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"render_dashboard: {error}", file=sys.stderr)
+        return 2
+    out.append("</body></html>")
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(out) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
