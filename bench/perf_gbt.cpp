@@ -170,6 +170,10 @@ void BM_TrainDepth(benchmark::State& state) {
 BENCHMARK(BM_TrainDepth)->Arg(2)->Arg(4)->Arg(6)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+/// Batch prediction through the compiled flat-forest kernel (the default
+/// dispatch). BM_PredictBatchRef is the reference-walker twin over the
+/// same model and rows; their ratio is the compilation speedup claimed in
+/// DESIGN.md and gated by tools/bench_diff.py.
 void BM_PredictBatch(benchmark::State& state) {
   const Dataset train = MakeData(2000, 32, 3);
   GbtParams params = BenchParams(TreeMethod::kHist);
@@ -183,6 +187,23 @@ void BM_PredictBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * test.num_rows());
 }
 BENCHMARK(BM_PredictBatch)->Arg(20)->Arg(100)->Arg(300)
+    ->Unit(benchmark::kMillisecond);
+
+/// Reference twin of BM_PredictBatch: the per-row pointer walker over the
+/// original tree nodes, bypassing the flat forest.
+void BM_PredictBatchRef(benchmark::State& state) {
+  const Dataset train = MakeData(2000, 32, 3);
+  GbtParams params = BenchParams(TreeMethod::kHist);
+  params.num_trees = static_cast<int>(state.range(0));
+  const GbtModel model = GbtModel::Train(train, params).value();
+  const Dataset test = MakeData(1000, 32, 4);
+  for (auto _ : state) {
+    auto preds = model.PredictReference(test);
+    benchmark::DoNotOptimize(preds);
+  }
+  state.SetItemsProcessed(state.iterations() * test.num_rows());
+}
+BENCHMARK(BM_PredictBatchRef)->Arg(20)->Arg(100)->Arg(300)
     ->Unit(benchmark::kMillisecond);
 
 void BM_Serialize(benchmark::State& state) {

@@ -6,6 +6,7 @@
 #include "data/dataset.h"
 #include "gbt/gbt_model.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace mysawh::explain {
 
@@ -28,11 +29,23 @@ class TreeShap {
   /// SHAP values for one row (num_features() doubles; NaN = missing).
   std::vector<double> Shap(const double* row) const;
 
-  /// SHAP values for every row of `data` (one inner vector per row). Rows
-  /// are explained in parallel on the shared `DefaultPool()`; the output is
-  /// identical to calling Shap() per row.
+  /// SHAP values for every row of `data` (one inner vector per row). Runs
+  /// the flat-forest recursion when the model compiled one (bit-identical
+  /// to the reference recursion; see gbt/flat_forest.h), the reference
+  /// per-tree recursion otherwise. Batches with more rows than the forest
+  /// has ancestor-direction patterns amortize further: every
+  /// (leaf, pattern) addend is precomputed once per batch and each row
+  /// replays a table-lookup walk — same values, same accumulation order,
+  /// so still bit-identical. Rows are explained in parallel on `pool`
+  /// (nullptr = the shared `DefaultPool()`); the output equals calling
+  /// Shap() per row for any thread count and either batch strategy.
   Result<std::vector<std::vector<double>>> ShapBatch(
-      const Dataset& data) const;
+      const Dataset& data, ThreadPool* pool = nullptr) const;
+
+  /// The uncompiled batch path (per-tree pointer recursion); the benchmark
+  /// twin and equivalence tests measure ShapBatch against this.
+  Result<std::vector<std::vector<double>>> ShapBatchReference(
+      const Dataset& data, ThreadPool* pool = nullptr) const;
 
   /// SHAP interaction values for one row: an M x M matrix (row-major,
   /// M = num_features) where entry (i, j), i != j, is feature i and j's

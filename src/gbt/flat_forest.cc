@@ -1,0 +1,813 @@
+#include "gbt/flat_forest.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/file_io.h"
+#include "util/metrics.h"
+#include "util/serialization.h"
+#include "util/string_util.h"
+#include "util/trace.h"
+
+namespace mysawh::gbt {
+
+namespace {
+
+/// Cover floor of the TreeSHAP recursion (explain/tree_shap.cc SafeCover).
+/// The compile-time fractions must divide by exactly the same value the
+/// reference recursion divides by, or the flat SHAP port would drift.
+double SafeCover(double cover) { return std::max(cover, 1e-30); }
+
+/// Widest per-feature cut array the uint8 bin encoding can address: bins
+/// run 0..254 and kFlatMissingBin (255) is reserved for NaN.
+constexpr int kMaxCutsPerFeature = 254;
+
+/// log2(kFlatPredictBlock): the walk step addresses the column panel as
+/// bins_cm[(feature << kBlockShift) + lane_row].
+constexpr int kBlockShift = 6;
+static_assert(kFlatPredictBlock == (int64_t{1} << kBlockShift),
+              "panel addressing assumes a power-of-two block");
+
+}  // namespace
+
+Result<FlatForest> FlatForest::Compile(
+    const std::vector<RegressionTree>& trees, int64_t num_features) {
+  TraceSpan span("gbt.flat.compile", "gbt");
+  if (num_features < 0 || num_features > INT16_MAX) {
+    return Status::FailedPrecondition(
+        "flat compile: feature space width " + std::to_string(num_features) +
+        " exceeds the int16 node encoding");
+  }
+  FlatForest flat;
+  flat.num_features_ = num_features;
+
+  // Pass 1: the distinct split thresholds of every feature become its cut
+  // array. For hist-trained models these are a subset of the BuildBinned
+  // cuts the splits were chosen from; for exact-trained or deserialized
+  // models they are whatever thresholds the trees carry — the equivalence
+  // bin(v) < bin_threshold  <=>  v < threshold holds either way.
+  std::vector<std::vector<double>> cuts(static_cast<size_t>(num_features));
+  int64_t total_internal = 0;
+  int64_t total_leaves = 0;
+  for (const auto& tree : trees) {
+    // Structural validity (finite thresholds, in-range features) is the
+    // input contract of every kernel below; re-checking here keeps a bad
+    // caller from compiling an out-of-bounds memory accessor.
+    MYSAWH_RETURN_NOT_OK(tree.Validate(num_features));
+    for (int i = 0; i < tree.num_nodes(); ++i) {
+      const TreeNode& n = tree.node(i);
+      if (n.IsLeaf()) {
+        ++total_leaves;
+      } else {
+        ++total_internal;
+        cuts[static_cast<size_t>(n.feature)].push_back(n.threshold);
+      }
+    }
+  }
+  if (total_internal > INT32_MAX || total_leaves > INT32_MAX) {
+    return Status::FailedPrecondition("flat compile: forest too large");
+  }
+  flat.cut_offsets_.reserve(static_cast<size_t>(num_features) + 1);
+  flat.cut_offsets_.push_back(0);
+  for (auto& feature_cuts : cuts) {
+    std::sort(feature_cuts.begin(), feature_cuts.end());
+    feature_cuts.erase(
+        std::unique(feature_cuts.begin(), feature_cuts.end()),
+        feature_cuts.end());
+    if (static_cast<int>(feature_cuts.size()) > kMaxCutsPerFeature) {
+      return Status::FailedPrecondition(
+          "flat compile: " + std::to_string(feature_cuts.size()) +
+          " distinct thresholds on one feature exceed the uint8 bin "
+          "encoding (max " + std::to_string(kMaxCutsPerFeature) + ")");
+    }
+    flat.cut_values_.insert(flat.cut_values_.end(), feature_cuts.begin(),
+                            feature_cuts.end());
+    flat.cut_offsets_.push_back(
+        static_cast<int32_t>(flat.cut_values_.size()));
+  }
+
+  // Pass 2: emit each tree's internal nodes in preorder (parents strictly
+  // before children, the acyclicity invariant Validate checks) and its
+  // leaves in reference order, all into the global SoA block.
+  flat.feature_.reserve(static_cast<size_t>(total_internal));
+  flat.bin_threshold_.reserve(static_cast<size_t>(total_internal));
+  flat.left_.reserve(static_cast<size_t>(total_internal));
+  flat.right_.reserve(static_cast<size_t>(total_internal));
+  flat.left_fraction_.reserve(static_cast<size_t>(total_internal));
+  flat.right_fraction_.reserve(static_cast<size_t>(total_internal));
+  flat.leaf_values_.reserve(static_cast<size_t>(total_leaves));
+  flat.default_left_bits_.assign(
+      static_cast<size_t>((total_internal + 63) / 64), 0);
+  flat.tree_node_offsets_.push_back(0);
+  flat.tree_leaf_offsets_.push_back(0);
+  for (const auto& tree : trees) {
+    const int32_t node_base = static_cast<int32_t>(flat.feature_.size());
+    // Preorder index of every internal node (explicit stack: deserialized
+    // trees may be arbitrarily deep and must not overflow the C++ stack).
+    std::vector<int32_t> order(static_cast<size_t>(tree.num_nodes()), -1);
+    std::vector<int32_t> preorder;
+    if (!tree.node(0).IsLeaf()) {
+      std::vector<int32_t> stack{0};
+      while (!stack.empty()) {
+        const int32_t id = stack.back();
+        stack.pop_back();
+        order[static_cast<size_t>(id)] =
+            static_cast<int32_t>(preorder.size());
+        preorder.push_back(id);
+        const TreeNode& n = tree.node(id);
+        if (!tree.node(n.right).IsLeaf()) stack.push_back(n.right);
+        if (!tree.node(n.left).IsLeaf()) stack.push_back(n.left);
+      }
+    }
+    auto child_ref = [&](int32_t id) -> int32_t {
+      const TreeNode& child = tree.node(id);
+      if (!child.IsLeaf()) return node_base + order[static_cast<size_t>(id)];
+      const auto leaf_index = static_cast<int32_t>(flat.leaf_values_.size());
+      flat.leaf_values_.push_back(child.value);
+      return ~leaf_index;
+    };
+    if (tree.node(0).IsLeaf()) {
+      flat.roots_.push_back(child_ref(0));
+    } else {
+      flat.roots_.push_back(node_base);
+      for (const int32_t id : preorder) {
+        const TreeNode& n = tree.node(id);
+        const auto flat_id = static_cast<size_t>(flat.feature_.size());
+        flat.feature_.push_back(static_cast<int16_t>(n.feature));
+        // The threshold was inserted into this feature's cut array above,
+        // so lower_bound lands exactly on it; going left on
+        // bin < (index + 1) is then exactly the reference's v < threshold.
+        const double* lo =
+            flat.cut_values_.data() + flat.cut_offsets_[
+                static_cast<size_t>(n.feature)];
+        const double* hi =
+            flat.cut_values_.data() + flat.cut_offsets_[
+                static_cast<size_t>(n.feature) + 1];
+        const auto cut_index = std::lower_bound(lo, hi, n.threshold) - lo;
+        flat.bin_threshold_.push_back(static_cast<uint8_t>(cut_index + 1));
+        if (n.default_left) {
+          flat.default_left_bits_[flat_id >> 6] |= uint64_t{1}
+                                                   << (flat_id & 63);
+        }
+        // Children in (left, right) order so leaf indices are deterministic.
+        flat.left_.push_back(child_ref(n.left));
+        flat.right_.push_back(child_ref(n.right));
+        const double cover = SafeCover(n.cover);
+        flat.left_fraction_.push_back(
+            tree.node(n.left).cover / cover);
+        flat.right_fraction_.push_back(
+            tree.node(n.right).cover / cover);
+      }
+    }
+    flat.tree_node_offsets_.push_back(
+        static_cast<int32_t>(flat.feature_.size()));
+    flat.tree_leaf_offsets_.push_back(
+        static_cast<int32_t>(flat.leaf_values_.size()));
+  }
+
+  flat.BuildDerivedState();
+
+  span.Arg("trees", static_cast<int64_t>(trees.size()));
+  span.Arg("nodes", total_internal);
+  span.Arg("leaves", total_leaves);
+  return flat;
+}
+
+void FlatForest::BuildDerivedState() {
+  // Children come after parents in the flat block, so one backward pass
+  // resolves every subtree height without recursion.
+  std::vector<int32_t> height(feature_.size(), 0);
+  auto ref_height = [&](int32_t ref) {
+    return ref < 0 ? 0 : height[static_cast<size_t>(ref)];
+  };
+  for (auto i = static_cast<int64_t>(feature_.size()) - 1; i >= 0; --i) {
+    height[static_cast<size_t>(i)] =
+        1 + std::max(ref_height(left_[static_cast<size_t>(i)]),
+                     ref_height(right_[static_cast<size_t>(i)]));
+  }
+  tree_depths_.clear();
+  tree_depths_.reserve(roots_.size());
+  max_depth_ = 0;
+  for (const int32_t root : roots_) {
+    tree_depths_.push_back(ref_height(root));
+    max_depth_ = std::max(max_depth_, tree_depths_.back());
+  }
+  // Packed kernel tables over the augmented node space (internal nodes,
+  // then leaf pseudo-nodes): feature (<= 32766) in the high bits, then the
+  // bin threshold, then the missing direction — one 32-bit load per node
+  // instead of three scattered ones. Child refs are de-tagged into
+  // augmented indices and interleaved right-then-left so the taken child
+  // is children_[2 * node + go_left]; a leaf pseudo-node (metadata 0,
+  // go_left always 0) self-loops and adds nothing to a step's cost.
+  const size_t internal = feature_.size();
+  const size_t total = internal + leaf_values_.size();
+  const auto augmented = [&](int32_t ref) -> int32_t {
+    return ref >= 0 ? ref : static_cast<int32_t>(internal) + ~ref;
+  };
+  node_meta_.assign(total, 0);
+  children_.resize(total * 2);
+  node_value_.assign(total, 0.0);
+  for (size_t n = 0; n < internal; ++n) {
+    node_meta_[n] =
+        (static_cast<uint32_t>(static_cast<uint16_t>(feature_[n])) << 9) |
+        (static_cast<uint32_t>(bin_threshold_[n]) << 1) |
+        (default_left(static_cast<int64_t>(n)) ? 1u : 0u);
+    children_[2 * n] = augmented(right_[n]);
+    children_[2 * n + 1] = augmented(left_[n]);
+  }
+  for (size_t leaf = 0; leaf < leaf_values_.size(); ++leaf) {
+    const size_t p = internal + leaf;
+    children_[2 * p] = static_cast<int32_t>(p);
+    children_[2 * p + 1] = static_cast<int32_t>(p);
+    node_value_[p] = leaf_values_[leaf];
+  }
+  kernel_roots_.clear();
+  kernel_roots_.reserve(roots_.size());
+  for (const int32_t root : roots_) kernel_roots_.push_back(augmented(root));
+
+  // NaN-padded cut arrays for the branchless BinRow search, every feature
+  // padded to the same power of two so four searches share one halving
+  // sequence. Bounded by 256 doubles per feature (the uint8 bin gate).
+  int64_t widest = 1;
+  for (int64_t f = 0; f < num_features_; ++f) {
+    widest = std::max<int64_t>(widest, cut_offsets_[f + 1] - cut_offsets_[f]);
+  }
+  search_len_ = static_cast<int64_t>(
+      std::bit_ceil(static_cast<uint64_t>(widest)));
+  search_cuts_.assign(static_cast<size_t>(num_features_ * search_len_),
+                      std::numeric_limits<double>::quiet_NaN());
+  for (int64_t f = 0; f < num_features_; ++f) {
+    std::copy(cut_values_.begin() + cut_offsets_[f],
+              cut_values_.begin() + cut_offsets_[f + 1],
+              search_cuts_.begin() + f * search_len_);
+  }
+}
+
+namespace {
+
+/// Features binned in lockstep per BinRow search pass: the searches are
+/// independent chains of load -> compare -> conditional move, so running
+/// four at once overlaps their latencies the same way the walk kernel's
+/// row lanes do.
+constexpr int64_t kBinLanes = 4;
+
+}  // namespace
+
+void FlatForest::BinRow(const double* row, uint8_t* out) const {
+  // bin(v) = #{cuts <= v}: with bin_threshold = cut_index + 1 this makes
+  // bin < bin_threshold exactly equivalent to v < threshold. The searches
+  // run over the NaN-padded uniform power-of-two copies of the cut arrays
+  // with conditional-move steps: the halving sequence is identical for
+  // every feature and row, so unlike std::upper_bound there is no
+  // data-dependent branch to mispredict. NaN never satisfies an ordered
+  // comparison, so pads are never counted — and a NaN input walks to
+  // count 0 harmlessly before the final select replaces it with the
+  // missing sentinel.
+  // The step advances an integer offset by `half & -cond` — arithmetic on
+  // a materialized comparison bit, which the compiler cannot turn back
+  // into the conditional jump a pointer select tempts it into.
+  const double* const cuts = search_cuts_.data();
+  const int64_t len = search_len_;
+  int64_t f = 0;
+  for (; f + kBinLanes <= num_features_; f += kBinLanes) {
+    const double* base[kBinLanes];
+    double v[kBinLanes];
+    int64_t pos[kBinLanes];
+    for (int64_t j = 0; j < kBinLanes; ++j) {
+      v[j] = row[f + j];
+      base[j] = cuts + (f + j) * len;
+      pos[j] = 0;
+    }
+    for (int64_t half = len >> 1; half > 0; half >>= 1) {
+      for (int64_t j = 0; j < kBinLanes; ++j) {
+        pos[j] +=
+            half & -static_cast<int64_t>(base[j][pos[j] + half - 1] <= v[j]);
+      }
+    }
+    for (int64_t j = 0; j < kBinLanes; ++j) {
+      const auto count = static_cast<uint8_t>(
+          pos[j] + static_cast<int64_t>(base[j][pos[j]] <= v[j]));
+      out[f + j] = std::isnan(v[j]) ? kFlatMissingBin : count;
+    }
+  }
+  for (; f < num_features_; ++f) {
+    const double v = row[f];
+    const double* const base = cuts + f * len;
+    int64_t pos = 0;
+    for (int64_t half = len >> 1; half > 0; half >>= 1) {
+      pos += half & -static_cast<int64_t>(base[pos + half - 1] <= v);
+    }
+    const auto count = static_cast<uint8_t>(
+        pos + static_cast<int64_t>(base[pos] <= v));
+    out[f] = std::isnan(v) ? kFlatMissingBin : count;
+  }
+}
+
+std::vector<uint8_t> FlatForest::BinMatrix(const Dataset& data) const {
+  std::vector<uint8_t> bins(
+      static_cast<size_t>(data.num_rows() * num_features_));
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    BinRow(data.row(r), bins.data() + r * num_features_);
+  }
+  return bins;
+}
+
+namespace {
+
+/// One branchless level of the walk. A finished lane (leaf-tagged ref)
+/// self-loops; it reads node 0's data as a harmless dummy, so the step
+/// compiles to loads + conditional selects with no unpredictable branch.
+/// The bin test is exact: a missing bin (255) never satisfies
+/// bin < threshold (threshold <= 254), so the learned default direction
+/// decides via the bitmask.
+inline int32_t StepNode(int32_t ref, const uint8_t* row_bins,
+                        const int16_t* feature, const uint8_t* threshold,
+                        const int32_t* left, const int32_t* right,
+                        const uint64_t* default_bits) {
+  // All selects are arithmetic masks, never ternaries: the walk directions
+  // are data-dependent coin flips, and a compiler-emitted conditional jump
+  // would cost a ~15-cycle mispredict on half the steps. Mask form keeps
+  // the whole step on the load/ALU ports so the lanes actually overlap.
+  const int32_t leaf_mask = ref >> 31;  // all ones when parked on a leaf
+  const auto node = static_cast<size_t>(ref & ~leaf_mask);
+  const uint8_t bin = row_bins[feature[node]];
+  const uint32_t go_default_left =
+      static_cast<uint32_t>(default_bits[node >> 6] >> (node & 63)) & 1u;
+  const auto lt = static_cast<uint32_t>(bin < threshold[node]);
+  const auto missing = static_cast<uint32_t>(bin == kFlatMissingBin);
+  const int32_t go_left_mask =
+      -static_cast<int32_t>(lt | (missing & go_default_left));
+  const int32_t next =
+      (left[node] & go_left_mask) | (right[node] & ~go_left_mask);
+  return (ref & leaf_mask) | (next & ~leaf_mask);
+}
+
+/// Rows walked through one tree simultaneously. The per-visit cost is
+/// dominated by the dependent load chain (bin -> compare -> child ref ->
+/// next bin), so giving the core kLanes independent chains overlaps their
+/// latencies instead of stalling on one.
+constexpr int kLanes = 8;
+
+}  // namespace
+
+void FlatForest::Accumulate(const uint8_t* bins, int64_t rows,
+                            int tree_begin, int tree_end, double* raw) const {
+  const int16_t* const feature = feature_.data();
+  const uint8_t* const threshold = bin_threshold_.data();
+  const int32_t* const left = left_.data();
+  const int32_t* const right = right_.data();
+  const uint64_t* const default_bits = default_left_bits_.data();
+  const double* const leaves = leaf_values_.data();
+  const int64_t stride = num_features_;
+  // Trees outer, rows inner: one tree's few SoA cache lines are reused
+  // across the whole row block before moving on. Every lane runs exactly
+  // the tree's height in steps — no per-level exit test — with finished
+  // lanes parked on their leaf ref by StepNode.
+  for (int t = tree_begin; t < tree_end; ++t) {
+    const int32_t root = roots_[static_cast<size_t>(t)];
+    if (root < 0) {
+      const double value = leaves[~root];
+      for (int64_t r = 0; r < rows; ++r) raw[r] += value;
+      continue;
+    }
+    const int32_t depth = tree_depths_[static_cast<size_t>(t)];
+    int64_t r = 0;
+    for (; r + kLanes <= rows; r += kLanes) {
+      const uint8_t* row_bins[kLanes];
+      int32_t ref[kLanes];
+      for (int l = 0; l < kLanes; ++l) {
+        row_bins[l] = bins + (r + l) * stride;
+        ref[l] = root;
+      }
+      for (int32_t d = 0; d < depth; ++d) {
+        for (int l = 0; l < kLanes; ++l) {
+          ref[l] = StepNode(ref[l], row_bins[l], feature, threshold, left,
+                            right, default_bits);
+        }
+      }
+      // Identical summation order to the reference walker: row r gets its
+      // trees in ascending order, one leaf value per tree.
+      for (int l = 0; l < kLanes; ++l) raw[r + l] += leaves[~ref[l]];
+    }
+    for (; r < rows; ++r) {
+      const uint8_t* const row_bins = bins + r * stride;
+      int32_t ref = root;
+      do {
+        ref = StepNode(ref, row_bins, feature, threshold, left, right,
+                       default_bits);
+      } while (ref >= 0);
+      raw[r] += leaves[~ref];
+    }
+  }
+}
+
+namespace {
+
+/// One branchless level of the panel walk (the packed-table twin of
+/// StepNode): one metadata load, one panel byte, one indexed child load —
+/// no compare-and-select on the child (the interleaving puts the taken
+/// child at 2 * node + go_left) and no leaf-tag masking (a leaf
+/// pseudo-node has metadata 0, so go_left is always 0 and its go-right
+/// slot points back at itself). `panel_bins` points at the lane's row
+/// inside the feature-major panel, so every lane shares the same three
+/// base pointers — with the lane index folded into the displacement the
+/// whole 8-lane step fits the register file, which is what lets the
+/// independent load chains actually overlap.
+inline int32_t StepPacked(int32_t node, const uint8_t* panel_bins,
+                          const uint32_t* meta, const int32_t* children) {
+  const uint32_t m = meta[static_cast<size_t>(node)];
+  const uint8_t bin = panel_bins[(m >> 9) << kBlockShift];
+  const auto bin_threshold = static_cast<uint8_t>(m >> 1);
+  const auto lt = static_cast<uint32_t>(bin < bin_threshold);
+  const auto missing = static_cast<uint32_t>(bin == kFlatMissingBin);
+  const uint32_t go_left = lt | (missing & m & 1u);
+  return children[(static_cast<size_t>(node) << 1) + go_left];
+}
+
+}  // namespace
+
+void FlatForest::AccumulateBlock(const uint8_t* bins_cm, int64_t rows,
+                                 double* raw) const {
+  const uint32_t* const meta = node_meta_.data();
+  const int32_t* const children = children_.data();
+  const double* const values = node_value_.data();
+  const int trees = num_trees();
+  for (int t = 0; t < trees; ++t) {
+    const int32_t root = kernel_roots_[static_cast<size_t>(t)];
+    const int32_t depth = tree_depths_[static_cast<size_t>(t)];
+    int64_t r = 0;
+    for (; r + kLanes <= rows; r += kLanes) {
+      int32_t node[kLanes];
+      for (int l = 0; l < kLanes; ++l) node[l] = root;
+      // Fixed trip count (the tree's height) with finished lanes parked on
+      // their leaf pseudo-node: no per-level exit test to mispredict.
+      for (int32_t d = 0; d < depth; ++d) {
+        for (int l = 0; l < kLanes; ++l) {
+          node[l] = StepPacked(node[l], bins_cm + r + l, meta, children);
+        }
+      }
+      // Identical summation order to the reference walker: row r gets its
+      // trees in ascending order, one leaf value per tree.
+      for (int l = 0; l < kLanes; ++l) raw[r + l] += values[node[l]];
+    }
+    for (; r < rows; ++r) {
+      int32_t node = root;
+      for (int32_t d = 0; d < depth; ++d) {
+        node = StepPacked(node, bins_cm + r, meta, children);
+      }
+      raw[r] += values[node];
+    }
+  }
+}
+
+void FlatForest::PredictRaw(const Dataset& data, double base_score,
+                            double* out, ThreadPool* pool) const {
+  const int64_t rows = data.num_rows();
+  const int64_t blocks = (rows + kFlatPredictBlock - 1) / kFlatPredictBlock;
+  static Counter* const blocks_counter =
+      MetricsRegistry::Global().GetCounter("gbt.predict.flat_blocks");
+  blocks_counter->Increment(blocks);
+  ThreadPool& workers = pool != nullptr ? *pool : DefaultPool();
+  // Blocks write disjoint output slots and every row sums its trees in
+  // ascending order, so the result is bit-identical to the sequential
+  // reference walker for any worker count.
+  workers.ParallelFor(blocks, [&](int64_t block) {
+    const int64_t begin = block * kFlatPredictBlock;
+    const int64_t n = std::min(kFlatPredictBlock, rows - begin);
+    std::vector<uint8_t> block_bins(static_cast<size_t>(n * num_features_));
+    for (int64_t r = 0; r < n; ++r) {
+      BinRow(data.row(begin + r), block_bins.data() + r * num_features_);
+    }
+    // Transpose into the feature-major panel the walk kernel addresses by
+    // (feature << kBlockShift) + row. ~F * 64 bytes, L1-resident.
+    std::vector<uint8_t> panel(
+        static_cast<size_t>(num_features_) * kFlatPredictBlock);
+    for (int64_t r = 0; r < n; ++r) {
+      const uint8_t* const row_bins =
+          block_bins.data() + r * num_features_;
+      for (int64_t f = 0; f < num_features_; ++f) {
+        panel[static_cast<size_t>((f << kBlockShift) + r)] = row_bins[f];
+      }
+    }
+    double acc[kFlatPredictBlock];
+    for (int64_t r = 0; r < n; ++r) acc[r] = base_score;
+    AccumulateBlock(panel.data(), n, acc);
+    std::copy(acc, acc + n, out + begin);
+  });
+}
+
+Status FlatForest::Validate() const {
+  const auto num_nodes = static_cast<int64_t>(feature_.size());
+  const auto num_leaves = static_cast<int64_t>(leaf_values_.size());
+  const auto num_trees = static_cast<int64_t>(roots_.size());
+  if (num_features_ < 0 || num_features_ > INT16_MAX) {
+    return Status::DataLoss("flat forest: feature space width out of range");
+  }
+  if (bin_threshold_.size() != feature_.size() ||
+      left_.size() != feature_.size() || right_.size() != feature_.size() ||
+      left_fraction_.size() != feature_.size() ||
+      right_fraction_.size() != feature_.size() ||
+      default_left_bits_.size() !=
+          static_cast<size_t>((num_nodes + 63) / 64)) {
+    return Status::DataLoss("flat forest: node array sizes disagree");
+  }
+  if (cut_offsets_.size() != static_cast<size_t>(num_features_) + 1 ||
+      cut_offsets_.front() != 0 ||
+      cut_offsets_.back() != static_cast<int32_t>(cut_values_.size())) {
+    return Status::DataLoss("flat forest: cut offsets malformed");
+  }
+  for (int64_t f = 0; f < num_features_; ++f) {
+    const int32_t lo = cut_offsets_[static_cast<size_t>(f)];
+    const int32_t hi = cut_offsets_[static_cast<size_t>(f) + 1];
+    if (lo > hi || hi - lo > kMaxCutsPerFeature) {
+      return Status::DataLoss("flat forest: cut count out of range");
+    }
+    for (int32_t c = lo; c < hi; ++c) {
+      if (!std::isfinite(cut_values_[static_cast<size_t>(c)])) {
+        return Status::DataLoss("flat forest: non-finite cut");
+      }
+      if (c > lo && !(cut_values_[static_cast<size_t>(c - 1)] <
+                      cut_values_[static_cast<size_t>(c)])) {
+        return Status::DataLoss("flat forest: cuts not strictly increasing");
+      }
+    }
+  }
+  if (tree_node_offsets_.size() != static_cast<size_t>(num_trees) + 1 ||
+      tree_leaf_offsets_.size() != static_cast<size_t>(num_trees) + 1 ||
+      tree_node_offsets_.front() != 0 || tree_leaf_offsets_.front() != 0 ||
+      tree_node_offsets_.back() != num_nodes ||
+      tree_leaf_offsets_.back() != num_leaves) {
+    return Status::DataLoss("flat forest: tree offsets malformed");
+  }
+  for (int64_t t = 0; t < num_trees; ++t) {
+    const int32_t node_begin = tree_node_offsets_[static_cast<size_t>(t)];
+    const int32_t node_end = tree_node_offsets_[static_cast<size_t>(t) + 1];
+    const int32_t leaf_begin = tree_leaf_offsets_[static_cast<size_t>(t)];
+    const int32_t leaf_end = tree_leaf_offsets_[static_cast<size_t>(t) + 1];
+    if (node_begin > node_end || leaf_begin > leaf_end) {
+      return Status::DataLoss("flat forest: tree offsets not monotone");
+    }
+    auto check_ref = [&](int32_t ref, int32_t after) -> Status {
+      if (ref >= 0) {
+        if (ref <= after || ref >= node_end) {
+          return Status::DataLoss(
+              "flat forest: child link out of range at node " +
+              std::to_string(after));
+        }
+        return Status::Ok();
+      }
+      const int32_t leaf = ~ref;
+      if (leaf < leaf_begin || leaf >= leaf_end) {
+        return Status::DataLoss(
+            "flat forest: leaf link out of range at node " +
+            std::to_string(after));
+      }
+      return Status::Ok();
+    };
+    const int32_t root = roots_[static_cast<size_t>(t)];
+    // The root "parent" sits just before the tree's node range, so the
+    // strictly-after check admits exactly node_begin (preorder root).
+    MYSAWH_RETURN_NOT_OK(check_ref(root, node_begin - 1));
+    if (root >= 0 && root != node_begin) {
+      return Status::DataLoss("flat forest: root is not the first node");
+    }
+    if (root < 0 && node_begin != node_end) {
+      return Status::DataLoss("flat forest: leaf root with internal nodes");
+    }
+    for (int32_t i = node_begin; i < node_end; ++i) {
+      const auto node = static_cast<size_t>(i);
+      const int16_t f = feature_[node];
+      if (f < 0 || f >= num_features_) {
+        return Status::DataLoss(
+            "flat forest: split feature out of range at node " +
+            std::to_string(i));
+      }
+      const int32_t num_cuts = cut_offsets_[static_cast<size_t>(f) + 1] -
+                               cut_offsets_[static_cast<size_t>(f)];
+      const uint8_t bt = bin_threshold_[node];
+      if (bt < 1 || static_cast<int32_t>(bt) > num_cuts) {
+        return Status::DataLoss(
+            "flat forest: bin threshold out of range at node " +
+            std::to_string(i));
+      }
+      MYSAWH_RETURN_NOT_OK(check_ref(left_[node], i));
+      MYSAWH_RETURN_NOT_OK(check_ref(right_[node], i));
+      const double lf = left_fraction_[node];
+      const double rf = right_fraction_[node];
+      if (!std::isfinite(lf) || !std::isfinite(rf) || lf < 0 || rf < 0 ||
+          lf + rf > 1.0 + 1e-6) {
+        // The flat form of "children cover must not exceed the parent's".
+        return Status::DataLoss(
+            "flat forest: cover fractions out of range at node " +
+            std::to_string(i));
+      }
+    }
+  }
+  // The serialized depth sizes the TreeSHAP path workspace; recompute it
+  // from the links so a corrupted value cannot undersize the recursion.
+  std::vector<int32_t> height(feature_.size(), 0);
+  auto ref_height = [&](int32_t ref) {
+    return ref < 0 ? 0 : height[static_cast<size_t>(ref)];
+  };
+  int computed_depth = 0;
+  for (int64_t i = num_nodes - 1; i >= 0; --i) {
+    height[static_cast<size_t>(i)] =
+        1 + std::max(ref_height(left_[static_cast<size_t>(i)]),
+                     ref_height(right_[static_cast<size_t>(i)]));
+  }
+  for (const int32_t root : roots_) {
+    computed_depth = std::max(computed_depth, ref_height(root));
+  }
+  if (max_depth_ != computed_depth) {
+    return Status::DataLoss("flat forest: stored depth " +
+                            std::to_string(max_depth_) + " != computed " +
+                            std::to_string(computed_depth));
+  }
+  return Status::Ok();
+}
+
+std::string FlatForest::Serialize() const {
+  std::ostringstream os;
+  os << "mysawh-flat-forest v1\n";
+  os << "num_features " << num_features_ << "\n";
+  os << "max_depth " << max_depth_ << "\n";
+  os << "num_trees " << num_trees() << "\n";
+  os << "num_nodes " << num_nodes() << "\n";
+  os << "num_leaves " << num_leaves() << "\n";
+  for (int64_t f = 0; f < num_features_; ++f) {
+    const int32_t lo = cut_offsets_[static_cast<size_t>(f)];
+    const int32_t hi = cut_offsets_[static_cast<size_t>(f) + 1];
+    os << "cuts " << (hi - lo);
+    for (int32_t c = lo; c < hi; ++c) {
+      os << " " << EncodeDouble(cut_values_[static_cast<size_t>(c)]);
+    }
+    os << "\n";
+  }
+  for (int t = 0; t < num_trees(); ++t) {
+    os << "tree " << roots_[static_cast<size_t>(t)] << " "
+       << tree_node_offsets_[static_cast<size_t>(t) + 1] << " "
+       << tree_leaf_offsets_[static_cast<size_t>(t) + 1] << "\n";
+  }
+  for (int64_t i = 0; i < num_nodes(); ++i) {
+    const auto node = static_cast<size_t>(i);
+    os << "node " << feature_[node] << " "
+       << static_cast<int>(bin_threshold_[node]) << " " << left_[node] << " "
+       << right_[node] << " " << (default_left(i) ? 1 : 0) << " "
+       << EncodeDouble(left_fraction_[node]) << " "
+       << EncodeDouble(right_fraction_[node]) << "\n";
+  }
+  for (int64_t l = 0; l < num_leaves(); ++l) {
+    os << "leaf " << EncodeDouble(leaf_values_[static_cast<size_t>(l)])
+       << "\n";
+  }
+  return os.str();
+}
+
+Result<FlatForest> FlatForest::Deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  auto next_line = [&]() -> Result<std::string> {
+    if (!std::getline(is, line)) {
+      return Status::InvalidArgument("flat forest text truncated");
+    }
+    return line;
+  };
+  auto header_int = [&](const std::string& key) -> Result<int64_t> {
+    MYSAWH_ASSIGN_OR_RETURN(std::string l, next_line());
+    const auto parts = Split(l, ' ');
+    if (parts.size() != 2 || parts[0] != key) {
+      return Status::InvalidArgument("flat forest: bad " + key + " line");
+    }
+    return ParseInt64(parts[1]);
+  };
+  MYSAWH_ASSIGN_OR_RETURN(std::string header, next_line());
+  if (header != "mysawh-flat-forest v1") {
+    return Status::InvalidArgument("bad flat forest header: " + header);
+  }
+  FlatForest flat;
+  MYSAWH_ASSIGN_OR_RETURN(flat.num_features_, header_int("num_features"));
+  MYSAWH_ASSIGN_OR_RETURN(int64_t max_depth, header_int("max_depth"));
+  MYSAWH_ASSIGN_OR_RETURN(int64_t num_trees, header_int("num_trees"));
+  MYSAWH_ASSIGN_OR_RETURN(int64_t num_nodes, header_int("num_nodes"));
+  MYSAWH_ASSIGN_OR_RETURN(int64_t num_leaves, header_int("num_leaves"));
+  if (flat.num_features_ < 0 || flat.num_features_ > INT16_MAX ||
+      max_depth < 0 || max_depth > INT32_MAX || num_trees < 0 ||
+      num_nodes < 0 || num_nodes > INT32_MAX || num_leaves < 0 ||
+      num_leaves > INT32_MAX) {
+    return Status::DataLoss("flat forest: header counts out of range");
+  }
+  flat.max_depth_ = static_cast<int>(max_depth);
+  // Reserves are bounded: a corrupted count must fail on the missing lines
+  // below, not attempt a huge allocation here.
+  const auto bounded = [](int64_t n) {
+    return static_cast<size_t>(std::min<int64_t>(n, 65536));
+  };
+  flat.cut_offsets_.reserve(bounded(flat.num_features_ + 1));
+  flat.cut_offsets_.push_back(0);
+  for (int64_t f = 0; f < flat.num_features_; ++f) {
+    MYSAWH_ASSIGN_OR_RETURN(std::string l, next_line());
+    const auto parts = Split(l, ' ');
+    if (parts.size() < 2 || parts[0] != "cuts") {
+      return Status::InvalidArgument("flat forest: bad cuts line: " + l);
+    }
+    MYSAWH_ASSIGN_OR_RETURN(int64_t count, ParseInt64(parts[1]));
+    if (count < 0 || count > kMaxCutsPerFeature ||
+        static_cast<size_t>(count) + 2 != parts.size()) {
+      return Status::DataLoss("flat forest: cut count mismatch: " + l);
+    }
+    for (int64_t c = 0; c < count; ++c) {
+      MYSAWH_ASSIGN_OR_RETURN(double cut,
+                              DecodeDouble(parts[static_cast<size_t>(c) + 2]));
+      flat.cut_values_.push_back(cut);
+    }
+    flat.cut_offsets_.push_back(static_cast<int32_t>(flat.cut_values_.size()));
+  }
+  flat.tree_node_offsets_.reserve(bounded(num_trees + 1));
+  flat.tree_leaf_offsets_.reserve(bounded(num_trees + 1));
+  flat.tree_node_offsets_.push_back(0);
+  flat.tree_leaf_offsets_.push_back(0);
+  for (int64_t t = 0; t < num_trees; ++t) {
+    MYSAWH_ASSIGN_OR_RETURN(std::string l, next_line());
+    const auto parts = Split(l, ' ');
+    if (parts.size() != 4 || parts[0] != "tree") {
+      return Status::InvalidArgument("flat forest: bad tree line: " + l);
+    }
+    MYSAWH_ASSIGN_OR_RETURN(int64_t root, ParseInt64(parts[1]));
+    MYSAWH_ASSIGN_OR_RETURN(int64_t node_end, ParseInt64(parts[2]));
+    MYSAWH_ASSIGN_OR_RETURN(int64_t leaf_end, ParseInt64(parts[3]));
+    if (root < INT32_MIN || root > INT32_MAX || node_end < 0 ||
+        node_end > num_nodes || leaf_end < 0 || leaf_end > num_leaves) {
+      return Status::DataLoss("flat forest: tree offsets out of range: " + l);
+    }
+    flat.roots_.push_back(static_cast<int32_t>(root));
+    flat.tree_node_offsets_.push_back(static_cast<int32_t>(node_end));
+    flat.tree_leaf_offsets_.push_back(static_cast<int32_t>(leaf_end));
+  }
+  flat.feature_.reserve(bounded(num_nodes));
+  flat.bin_threshold_.reserve(bounded(num_nodes));
+  flat.left_.reserve(bounded(num_nodes));
+  flat.right_.reserve(bounded(num_nodes));
+  flat.left_fraction_.reserve(bounded(num_nodes));
+  flat.right_fraction_.reserve(bounded(num_nodes));
+  flat.default_left_bits_.assign(
+      static_cast<size_t>((num_nodes + 63) / 64), 0);
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    MYSAWH_ASSIGN_OR_RETURN(std::string l, next_line());
+    const auto parts = Split(l, ' ');
+    if (parts.size() != 8 || parts[0] != "node") {
+      return Status::InvalidArgument("flat forest: bad node line: " + l);
+    }
+    MYSAWH_ASSIGN_OR_RETURN(int64_t feature, ParseInt64(parts[1]));
+    MYSAWH_ASSIGN_OR_RETURN(int64_t threshold, ParseInt64(parts[2]));
+    MYSAWH_ASSIGN_OR_RETURN(int64_t left, ParseInt64(parts[3]));
+    MYSAWH_ASSIGN_OR_RETURN(int64_t right, ParseInt64(parts[4]));
+    MYSAWH_ASSIGN_OR_RETURN(int64_t default_left, ParseInt64(parts[5]));
+    if (feature < INT16_MIN || feature > INT16_MAX || threshold < 0 ||
+        threshold > 255 || left < INT32_MIN || left > INT32_MAX ||
+        right < INT32_MIN || right > INT32_MAX ||
+        (default_left != 0 && default_left != 1)) {
+      return Status::DataLoss("flat forest: node fields out of range: " + l);
+    }
+    flat.feature_.push_back(static_cast<int16_t>(feature));
+    flat.bin_threshold_.push_back(static_cast<uint8_t>(threshold));
+    flat.left_.push_back(static_cast<int32_t>(left));
+    flat.right_.push_back(static_cast<int32_t>(right));
+    if (default_left == 1) {
+      flat.default_left_bits_[static_cast<size_t>(i >> 6)] |=
+          uint64_t{1} << (i & 63);
+    }
+    MYSAWH_ASSIGN_OR_RETURN(double lf, DecodeDouble(parts[6]));
+    MYSAWH_ASSIGN_OR_RETURN(double rf, DecodeDouble(parts[7]));
+    flat.left_fraction_.push_back(lf);
+    flat.right_fraction_.push_back(rf);
+  }
+  flat.leaf_values_.reserve(bounded(num_leaves));
+  for (int64_t l_index = 0; l_index < num_leaves; ++l_index) {
+    MYSAWH_ASSIGN_OR_RETURN(std::string l, next_line());
+    const auto parts = Split(l, ' ');
+    if (parts.size() != 2 || parts[0] != "leaf") {
+      return Status::InvalidArgument("flat forest: bad leaf line: " + l);
+    }
+    MYSAWH_ASSIGN_OR_RETURN(double value, DecodeDouble(parts[1]));
+    flat.leaf_values_.push_back(value);
+  }
+  // Every load path validates before the bounds-check-free kernels may run.
+  MYSAWH_RETURN_NOT_OK(flat.Validate());
+  // Per-tree walk depths are derived, not trusted from the wire.
+  flat.BuildDerivedState();
+  return flat;
+}
+
+Status FlatForest::SaveToFile(const std::string& path) const {
+  return WriteFileChecksummed(path, Serialize(), "flat_forest_save");
+}
+
+Result<FlatForest> FlatForest::LoadFromFile(const std::string& path) {
+  MYSAWH_ASSIGN_OR_RETURN(std::string payload, ReadFileChecksummed(path));
+  return Deserialize(payload);
+}
+
+}  // namespace mysawh::gbt

@@ -16,7 +16,23 @@ namespace mysawh::gbt {
 Result<GbtModel> GbtModel::Train(const Dataset& train, const GbtParams& params,
                                  const Dataset* validation, TrainingLog* log) {
   Trainer trainer(train, params);
-  return trainer.Run(validation, log);
+  MYSAWH_ASSIGN_OR_RETURN(GbtModel model, trainer.Run(validation, log));
+  model.CompileFlat();
+  return model;
+}
+
+void GbtModel::CompileFlat() {
+  flat_.reset();
+  Result<FlatForest> compiled = FlatForest::Compile(trees_, num_features());
+  if (compiled.ok()) {
+    flat_ = std::make_shared<const FlatForest>(std::move(compiled).value());
+    return;
+  }
+  // An uncompilable shape (e.g. >254 distinct thresholds on one feature)
+  // is not an error — the reference walker handles every valid forest.
+  static Counter* const fallback_counter = MetricsRegistry::Global().GetCounter(
+      "gbt.predict.flat_compile_fallbacks");
+  fallback_counter->Increment();
 }
 
 double GbtModel::PredictRowRaw(const double* row) const {
@@ -36,8 +52,38 @@ Result<std::vector<double>> GbtModel::PredictRaw(const Dataset& data) const {
         "Predict: dataset width " + std::to_string(data.num_features()) +
         " != model width " + std::to_string(num_features()));
   }
+  if (flat_ == nullptr) {
+    // Uncompilable ensemble shape: count the rows served by the slow path
+    // so a serving deployment can see it is not on the flat kernel.
+    static Counter* const fallback_rows = MetricsRegistry::Global().GetCounter(
+        "gbt.predict.flat_fallback_rows");
+    fallback_rows->Increment(data.num_rows());
+    return PredictRawReference(data);
+  }
   TraceSpan span("gbt.predict", "predict");
   span.Arg("rows", data.num_rows());
+  span.Arg("flat", 1);
+  static Counter* const rows_counter =
+      MetricsRegistry::Global().GetCounter("gbt.predict.rows");
+  rows_counter->Increment(data.num_rows());
+  static Counter* const flat_rows_counter =
+      MetricsRegistry::Global().GetCounter("gbt.predict.flat_rows");
+  flat_rows_counter->Increment(data.num_rows());
+  std::vector<double> out(static_cast<size_t>(data.num_rows()));
+  flat_->PredictRaw(data, base_score_, out.data());
+  return out;
+}
+
+Result<std::vector<double>> GbtModel::PredictRawReference(
+    const Dataset& data) const {
+  if (data.num_features() != num_features()) {
+    return Status::InvalidArgument(
+        "Predict: dataset width " + std::to_string(data.num_features()) +
+        " != model width " + std::to_string(num_features()));
+  }
+  TraceSpan span("gbt.predict", "predict");
+  span.Arg("rows", data.num_rows());
+  span.Arg("flat", 0);
   static Counter* const rows_counter =
       MetricsRegistry::Global().GetCounter("gbt.predict.rows");
   rows_counter->Increment(data.num_rows());
@@ -52,6 +98,16 @@ Result<std::vector<double>> GbtModel::PredictRaw(const Dataset& data) const {
 
 Result<std::vector<double>> GbtModel::Predict(const Dataset& data) const {
   MYSAWH_ASSIGN_OR_RETURN(std::vector<double> raw, PredictRaw(data));
+  const auto objective = MakeObjective(objective_type_);
+  DefaultPool().ParallelFor(static_cast<int64_t>(raw.size()), [&](int64_t i) {
+    raw[static_cast<size_t>(i)] = objective->Transform(raw[static_cast<size_t>(i)]);
+  });
+  return raw;
+}
+
+Result<std::vector<double>> GbtModel::PredictReference(
+    const Dataset& data) const {
+  MYSAWH_ASSIGN_OR_RETURN(std::vector<double> raw, PredictRawReference(data));
   const auto objective = MakeObjective(objective_type_);
   DefaultPool().ParallelFor(static_cast<int64_t>(raw.size()), [&](int64_t i) {
     raw[static_cast<size_t>(i)] = objective->Transform(raw[static_cast<size_t>(i)]);
@@ -75,6 +131,30 @@ Result<std::vector<std::vector<double>>> GbtModel::PredictStaged(
     }
     stages.push_back(std::move(stage));
   };
+  if (flat_ != nullptr) {
+    // Quantize once, then every stage walk is byte comparisons over the
+    // flat block. Per row the leaf values still sum in ascending tree
+    // order from base_score_, so stages match the reference walker bit
+    // for bit.
+    const std::vector<uint8_t> bins = flat_->BinMatrix(data);
+    constexpr int64_t kChunk = 256;
+    const int64_t chunks = (data.num_rows() + kChunk - 1) / kChunk;
+    for (size_t t = 0; t < trees_.size(); ++t) {
+      DefaultPool().ParallelFor(chunks, [&](int64_t c) {
+        const int64_t begin = c * kChunk;
+        const int64_t n = std::min(kChunk, data.num_rows() - begin);
+        flat_->Accumulate(bins.data() + begin * num_features(), n,
+                          static_cast<int>(t), static_cast<int>(t) + 1,
+                          raw.data() + begin);
+      });
+      if ((t + 1) % static_cast<size_t>(stride) == 0 ||
+          t + 1 == trees_.size()) {
+        snapshot();
+      }
+    }
+    if (trees_.empty()) snapshot();
+    return stages;
+  }
   for (size_t t = 0; t < trees_.size(); ++t) {
     DefaultPool().ParallelFor(data.num_rows(), [&](int64_t r) {
       raw[static_cast<size_t>(r)] += trees_[t].Predict(data.row(r));
@@ -230,6 +310,9 @@ Result<GbtModel> GbtModel::Deserialize(const std::string& text) {
     MYSAWH_RETURN_NOT_OK(rebuilt.Validate(num_features));
     model.trees_.push_back(std::move(rebuilt));
   }
+  // Deserialized models predict through the same compiled kernel as
+  // freshly trained ones (Serialize() does not carry the flat block).
+  model.CompileFlat();
   return model;
 }
 

@@ -2,10 +2,12 @@
 #define MYSAWH_GBT_GBT_MODEL_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "data/dataset.h"
+#include "gbt/flat_forest.h"
 #include "gbt/objective.h"
 #include "gbt/params.h"
 #include "gbt/tree.h"
@@ -54,10 +56,18 @@ class GbtModel : public model::Model {
   /// Raw margin score for one row.
   double PredictRowRaw(const double* row) const;
 
-  /// Batch prediction; fails when the dataset's width differs.
+  /// Batch prediction; fails when the dataset's width differs. Runs the
+  /// compiled flat-forest kernel when available (bit-identical to the
+  /// reference walker), the reference walker otherwise.
   Result<std::vector<double>> Predict(const Dataset& data) const;
-  /// Batch raw margins.
+  /// Batch raw margins (same dispatch as Predict).
   Result<std::vector<double>> PredictRaw(const Dataset& data) const;
+
+  /// Reference batch paths: the uncompiled per-row pointer walker. Always
+  /// available; the benchmark twins and equivalence tests measure the flat
+  /// kernels against these.
+  Result<std::vector<double>> PredictReference(const Dataset& data) const;
+  Result<std::vector<double>> PredictRawReference(const Dataset& data) const;
 
   // model::Model interface.
   std::string Kind() const override { return "gbt"; }
@@ -78,6 +88,16 @@ class GbtModel : public model::Model {
   /// Useful for learning curves and choosing the ensemble size post hoc.
   Result<std::vector<std::vector<double>>> PredictStaged(const Dataset& data,
                                                          int stride) const;
+
+  /// The compiled flat forest, or nullptr when the ensemble's shape cannot
+  /// be compiled (see FlatForest::Compile) and every batch path falls back
+  /// to the reference walker. Train and Deserialize compile automatically.
+  const FlatForest* flat_forest() const { return flat_.get(); }
+
+  /// (Re)compiles the flat forest from the current trees. On a
+  /// FailedPrecondition shape the model keeps flat_forest() == nullptr and
+  /// counts `gbt.predict.flat_compile_fallbacks`.
+  void CompileFlat();
 
   const std::vector<RegressionTree>& trees() const { return trees_; }
   const std::vector<std::string>& feature_names() const {
@@ -116,6 +136,10 @@ class GbtModel : public model::Model {
   ObjectiveType objective_type_ = ObjectiveType::kSquaredError;
   double base_score_ = 0.0;
   int best_iteration_ = -1;
+  // Compiled inference form; shared so copies of a model reuse one block.
+  // Not serialized: Serialize() stays byte-stable across this optimization
+  // and Deserialize recompiles.
+  std::shared_ptr<const FlatForest> flat_;
 };
 
 }  // namespace mysawh::gbt

@@ -98,22 +98,34 @@ void Tracer::Record(TraceEvent event) {
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() {
-  std::vector<TraceEvent> events;
+  // Second element: position in the thread's buffer. RAII scoping records
+  // inner spans before the outer spans that contain them, so when a
+  // sub-microsecond outer/inner pair ties on both ts and dur, the later
+  // buffer position is the enclosing span.
+  std::vector<std::pair<TraceEvent, size_t>> indexed;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& buffer : buffers_) {
-      events.insert(events.end(), buffer->events.begin(),
-                    buffer->events.end());
+      for (size_t i = 0; i < buffer->events.size(); ++i) {
+        indexed.emplace_back(buffer->events[i], i);
+      }
     }
   }
   // Start-time order, longest-first on ties, so enclosing spans precede
   // their children and equal-timing runs serialize identically.
-  std::stable_sort(events.begin(), events.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) {
-                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
-                     if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
-                     return a.tid < b.tid;
-                   });
+  std::sort(indexed.begin(), indexed.end(),
+            [](const std::pair<TraceEvent, size_t>& lhs,
+               const std::pair<TraceEvent, size_t>& rhs) {
+              const TraceEvent& a = lhs.first;
+              const TraceEvent& b = rhs.first;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return lhs.second > rhs.second;
+            });
+  std::vector<TraceEvent> events;
+  events.reserve(indexed.size());
+  for (auto& entry : indexed) events.push_back(std::move(entry.first));
   return events;
 }
 

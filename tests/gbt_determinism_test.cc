@@ -13,8 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "explain/tree_shap.h"
 #include "gbt/gbt_model.h"
 #include "util/telemetry.h"
+#include "util/thread_pool.h"
 
 namespace mysawh::gbt {
 namespace {
@@ -119,6 +121,96 @@ TEST(DeterminismTest, TelemetryRecordingDoesNotChangeModel) {
       GbtModel::Train(train, params, &valid).value().Serialize();
   Telemetry::Global().Disable();
   EXPECT_EQ(instrumented, plain);
+}
+
+TEST(DeterminismTest, FlatPredictBitIdenticalToReferenceAcrossThreadCounts) {
+  // The compiled flat-forest kernel must reproduce the reference pointer
+  // walker bit for bit — blocks write disjoint slots and every row sums
+  // its trees in ascending order, so the worker count must not matter.
+  const Dataset train = MakeData(1500);
+  const Dataset probe = MakeData(333);
+  for (TreeMethod method : {TreeMethod::kHist, TreeMethod::kExact}) {
+    const GbtModel model =
+        GbtModel::Train(train, BaseParams(method)).value();
+    ASSERT_NE(model.flat_forest(), nullptr);
+    const std::vector<double> reference =
+        model.PredictRawReference(probe).value();
+    for (int threads : {1, 2, 8}) {
+      ThreadPool pool(threads);
+      std::vector<double> flat(static_cast<size_t>(probe.num_rows()));
+      model.flat_forest()->PredictRaw(probe, model.base_score(), flat.data(),
+                                      &pool);
+      ASSERT_EQ(flat.size(), reference.size());
+      for (size_t r = 0; r < flat.size(); ++r) {
+        EXPECT_EQ(flat[r], reference[r])
+            << "row " << r << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, FlatStagedPredictionsMatchReferenceWalker) {
+  // PredictStaged accumulates tree by tree; the flat path quantizes once
+  // and replays the same per-row summation order, so every stage must be
+  // bit-identical to walking the trees directly.
+  const Dataset train = MakeData(1200);
+  const Dataset probe = MakeData(200);
+  const GbtModel model =
+      GbtModel::Train(train, BaseParams(TreeMethod::kHist)).value();
+  ASSERT_NE(model.flat_forest(), nullptr);
+  const auto staged = model.PredictStaged(probe, 5).value();
+  // Reference stages: per-row raw accumulation over tree prefixes.
+  const auto objective = MakeObjective(model.objective_type());
+  std::vector<double> raw(static_cast<size_t>(probe.num_rows()),
+                          model.base_score());
+  size_t stage = 0;
+  for (size_t t = 0; t < model.trees().size(); ++t) {
+    for (int64_t r = 0; r < probe.num_rows(); ++r) {
+      raw[static_cast<size_t>(r)] += model.trees()[t].Predict(probe.row(r));
+    }
+    if ((t + 1) % 5 == 0 || t + 1 == model.trees().size()) {
+      ASSERT_LT(stage, staged.size());
+      for (int64_t r = 0; r < probe.num_rows(); ++r) {
+        EXPECT_EQ(staged[stage][static_cast<size_t>(r)],
+                  objective->Transform(raw[static_cast<size_t>(r)]))
+            << "stage " << stage << " row " << r;
+      }
+      ++stage;
+    }
+  }
+  EXPECT_EQ(stage, staged.size());
+}
+
+TEST(DeterminismTest, FlatShapBitIdenticalToReferenceAcrossThreadCounts) {
+  // The flat TreeSHAP recursion mirrors the reference recursion operand
+  // for operand (precomputed cover fractions divide the same values the
+  // reference divides per visit), so attributions are bit-identical for
+  // any worker count.
+  const Dataset train = MakeData(1000);
+  const GbtModel model =
+      GbtModel::Train(train, BaseParams(TreeMethod::kHist)).value();
+  ASSERT_NE(model.flat_forest(), nullptr);
+  const explain::TreeShap shap(&model);
+  // A handful of rows keeps ShapBatch on the per-row recursion; several
+  // hundred crosses its pattern-table threshold — both batch strategies
+  // must match the reference exactly.
+  for (int64_t rows : {12, 300}) {
+    const Dataset probe = MakeData(rows);
+    const auto reference = shap.ShapBatchReference(probe).value();
+    for (int threads : {1, 2, 8}) {
+      ThreadPool pool(threads);
+      const auto flat = shap.ShapBatch(probe, &pool).value();
+      ASSERT_EQ(flat.size(), reference.size());
+      for (size_t r = 0; r < flat.size(); ++r) {
+        ASSERT_EQ(flat[r].size(), reference[r].size());
+        for (size_t f = 0; f < flat[r].size(); ++f) {
+          EXPECT_EQ(flat[r][f], reference[r][f])
+              << "rows " << rows << " row " << r << " feature " << f
+              << " threads " << threads;
+        }
+      }
+    }
+  }
 }
 
 TEST(DeterminismTest, FastSplitPathMatchesGenericPath) {

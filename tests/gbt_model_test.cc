@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace mysawh::gbt {
 namespace {
@@ -180,6 +183,40 @@ TEST(GbtModelTest, SaveLoadFile) {
 TEST(GbtModelTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(GbtModel::Deserialize("not a model").ok());
   EXPECT_FALSE(GbtModel::Deserialize("mysawh-gbt v1\njunk").ok());
+}
+
+TEST(GbtModelTest, DeserializeRejectsOutOfWidthSplitFeature) {
+  // Regression test for the load-path bounds contract: Predict indexes the
+  // input row by node feature without a per-call check, so a model whose
+  // serialized tree references feature 57 in a 2-feature space must be
+  // rejected at Deserialize (via Validate(num_features)), never loaded.
+  const Dataset train = MakeRegressionData(200, 17);
+  GbtParams params;
+  params.num_trees = 3;
+  params.max_depth = 3;
+  const GbtModel model = GbtModel::Train(train, params).value();
+  const std::string good = model.Serialize();
+  ASSERT_TRUE(GbtModel::Deserialize(good).ok());
+  // Node lines are "<left> <right> <feature> ..."; rewrite the first split
+  // node's feature index to one far beyond the declared width.
+  std::istringstream is(good);
+  std::ostringstream os;
+  std::string line;
+  bool tampered = false;
+  while (std::getline(is, line)) {
+    if (!tampered && !line.empty() && line.find(' ') != std::string::npos &&
+        (std::isdigit(line[0]) != 0 || line[0] == '-')) {
+      auto fields = Split(line, ' ');
+      if (fields.size() == 8 && fields[2] != "-1" && fields[0] != "-1") {
+        fields[2] = "57";
+        line = Join(fields, " ");
+        tampered = true;
+      }
+    }
+    os << line << "\n";
+  }
+  ASSERT_TRUE(tampered);
+  EXPECT_FALSE(GbtModel::Deserialize(os.str()).ok());
 }
 
 TEST(GbtModelTest, GainImportanceIdentifiesSignalFeature) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "gbt/gbt_model.h"
 #include "util/rng.h"
@@ -116,6 +117,50 @@ TEST_P(GbtInvarianceTest, DuplicatedRowsScaleInvariance) {
 INSTANTIATE_TEST_SUITE_P(Methods, GbtInvarianceTest,
                          ::testing::Values(TreeMethod::kHist,
                                            TreeMethod::kExact));
+
+TEST(GbtPropertiesTest, FlatForestEquivalentToReferenceOverRandomForests) {
+  // Property: for any trained forest (either tree method, varying shapes,
+  // missing values in the probe), the compiled flat kernel and the
+  // reference pointer walker return the SAME doubles — bit-identical, not
+  // merely close.
+  for (uint64_t seed = 100; seed < 106; ++seed) {
+    Rng rng(seed);
+    Dataset train = Dataset::Create({"a", "b", "c"});
+    for (int64_t i = 0; i < 300; ++i) {
+      const double a = rng.Uniform(-2, 2);
+      const double b = rng.Uniform(0, 1);
+      const double c = rng.Uniform(-1, 1);
+      EXPECT_TRUE(
+          train.AddRow({a, b, c}, std::sin(a) + b - c * c).ok());
+    }
+    GbtParams params;
+    params.tree_method =
+        seed % 2 == 0 ? TreeMethod::kHist : TreeMethod::kExact;
+    params.num_trees = 5 + static_cast<int>(seed % 3) * 10;
+    params.max_depth = 2 + static_cast<int>(seed % 4);
+    params.subsample = seed % 2 == 0 ? 1.0 : 0.7;
+    params.seed = seed;
+    const GbtModel model = GbtModel::Train(train, params).value();
+    ASSERT_NE(model.flat_forest(), nullptr) << "seed " << seed;
+    Dataset probe = Dataset::Create({"a", "b", "c"});
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    for (int64_t i = 0; i < 100; ++i) {
+      std::vector<double> x = {rng.Uniform(-3, 3), rng.Uniform(-1, 2),
+                               rng.Uniform(-2, 2)};
+      // Probe beyond the training range and with missing cells: the bin
+      // equivalence must hold everywhere, not just on seen values.
+      if (rng.Uniform(0, 1) < 0.2) x[rng.UniformInt(0, 2)] = nan;
+      EXPECT_TRUE(probe.AddRow(x, 0.0).ok());
+    }
+    const std::vector<double> flat = model.PredictRaw(probe).value();
+    const std::vector<double> reference =
+        model.PredictRawReference(probe).value();
+    ASSERT_EQ(flat.size(), reference.size());
+    for (size_t r = 0; r < flat.size(); ++r) {
+      EXPECT_EQ(flat[r], reference[r]) << "seed " << seed << " row " << r;
+    }
+  }
+}
 
 TEST(GbtPropertiesTest, PredictionsWithinLabelRange) {
   // Tree ensembles cannot extrapolate beyond the label range by much

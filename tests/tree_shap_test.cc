@@ -175,6 +175,27 @@ TEST(TreeShapTest, ShapBatchMatchesPerRow) {
   }
 }
 
+TEST(TreeShapTest, ShapBatchPatternTablesMatchPerRow) {
+  // Deep trees over few features force repeated features on paths (the
+  // UnwindPath merge), and 256 probe rows cross ShapBatch's pattern-table
+  // threshold (the 10-row batch above stays on the per-row recursion), so
+  // the precomputed-addend path gets the exact-equality check including
+  // missing values.
+  const Dataset train = MakeData(500, 4, 32, /*missing_prob=*/0.15);
+  GbtParams params;
+  params.num_trees = 15;
+  params.max_depth = 5;
+  const GbtModel model = GbtModel::Train(train, params).value();
+  ASSERT_NE(model.flat_forest(), nullptr);
+  const TreeShap shap(&model);
+  const Dataset probe = MakeData(256, 4, 33, /*missing_prob=*/0.2);
+  const auto batch = shap.ShapBatch(probe).value();
+  ASSERT_EQ(batch.size(), 256u);
+  for (int64_t r = 0; r < probe.num_rows(); ++r) {
+    EXPECT_EQ(batch[static_cast<size_t>(r)], shap.Shap(probe.row(r)));
+  }
+}
+
 TEST(TreeShapTest, ShapBatchChecksWidth) {
   const Dataset train = MakeData(200, 3, 30);
   GbtParams params;

@@ -24,8 +24,8 @@ import json
 import sys
 
 
-def load_benchmarks(path: str) -> dict[str, dict]:
-    """Returns {name: benchmark entry} for aggregate-free entries."""
+def load_benchmarks(path: str) -> tuple[dict, dict[str, dict]]:
+    """Returns (context, {name: benchmark entry}) for aggregate-free entries."""
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     benchmarks = {}
@@ -36,7 +36,31 @@ def load_benchmarks(path: str) -> dict[str, dict]:
         if entry.get("run_type", "iteration") != "iteration":
             continue
         benchmarks[entry["name"]] = entry
-    return benchmarks
+    return doc.get("context", {}), benchmarks
+
+
+def warn_if_debug(side: str, path: str, context: dict) -> None:
+    """Screams when a side was timed against a debug benchmark library.
+
+    google-benchmark stamps its own build type into the JSON context; a
+    debug library (assertions on, no optimization in the measurement loop)
+    inflates every timing, so deltas against a release-built side are
+    meaningless. Loud but non-fatal: the trend job still reports, a human
+    just must not trust the absolute numbers.
+    """
+    if context.get("library_build_type", "release") != "debug":
+        return
+    banner = "!" * 72
+    print(
+        f"{banner}\n"
+        f"!! WARNING: {side} ({path}) was recorded against a DEBUG build\n"
+        f"!! of the google-benchmark library (library_build_type: debug).\n"
+        f"!! Its timings are inflated; comparisons against a release-built\n"
+        f"!! side are not meaningful. Rebuild the benchmark library in\n"
+        f"!! Release mode and regenerate before trusting these numbers.\n"
+        f"{banner}",
+        file=sys.stderr,
+    )
 
 
 def main() -> int:
@@ -58,11 +82,14 @@ def main() -> int:
     args = parser.parse_args()
 
     try:
-        baseline = load_benchmarks(args.baseline)
-        current = load_benchmarks(args.current)
+        baseline_context, baseline = load_benchmarks(args.baseline)
+        current_context, current = load_benchmarks(args.current)
     except (OSError, json.JSONDecodeError, KeyError) as error:
         print(f"bench_diff: cannot load input: {error}", file=sys.stderr)
         return 2
+
+    warn_if_debug("baseline", args.baseline, baseline_context)
+    warn_if_debug("current", args.current, current_context)
 
     regressions = []
     names = sorted(set(baseline) | set(current))

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Merge several Google Benchmark JSON outputs into one baseline file.
+
+Usage:
+    tools/bench_merge.py OUT.json INPUT.json [INPUT.json ...]
+
+The perf binaries (perf_gbt, perf_shap) each write a complete benchmark
+JSON; the committed ``BENCH_perf.json`` baseline and the CI trend step
+want ONE file covering every suite. This concatenates the ``benchmarks``
+arrays of the inputs in order — a later input replaces same-named entries
+from an earlier one — and keeps every other top-level member (context,
+the embedded ``mysawh_metrics`` snapshot) from the FIRST input.
+
+Regenerating the committed baseline from a Release build:
+
+    (cd build && cmake --build . -j --target perf_gbt perf_shap)
+    ./build/bench/perf_gbt                 # writes ./BENCH_perf.json
+    (cd /tmp && /path/to/build/bench/perf_shap)  # its own BENCH_perf.json
+    tools/bench_merge.py BENCH_perf.json BENCH_perf.json /tmp/BENCH_perf.json
+
+Only the Python standard library is used.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__.split("\n\n", 1)[0], file=sys.stderr)
+        print("usage: bench_merge.py OUT.json INPUT.json [INPUT.json ...]",
+              file=sys.stderr)
+        return 2
+    out_path, input_paths = argv[1], argv[2:]
+
+    merged = None
+    by_name: dict[str, int] = {}
+    benchmarks: list[dict] = []
+    for path in input_paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"bench_merge: cannot load {path}: {error}",
+                  file=sys.stderr)
+            return 2
+        if merged is None:
+            merged = {k: v for k, v in doc.items() if k != "benchmarks"}
+        for entry in doc.get("benchmarks", []):
+            name = entry.get("name")
+            if name in by_name:
+                benchmarks[by_name[name]] = entry
+            else:
+                by_name[name] = len(benchmarks)
+                benchmarks.append(entry)
+    assert merged is not None
+    merged["benchmarks"] = benchmarks
+
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=2)
+        fh.write("\n")
+    print(f"bench_merge: wrote {len(benchmarks)} benchmarks from "
+          f"{len(input_paths)} input(s) to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -95,6 +95,8 @@ def check_metrics(path):
     n = check_metrics_object(metrics, path)
     required = (
         "file_io.writes",
+        "gbt.predict.flat_blocks",
+        "gbt.predict.flat_rows",
         "gbt.train.hist_nodes_direct",
         "study.cells_computed",
         "thread_pool.tasks_dispatched",
