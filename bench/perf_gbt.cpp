@@ -6,12 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bench/perf_json_main.h"
 #include "data/dataset.h"
 #include "gbt/binning.h"
 #include "gbt/gbt_model.h"
 #include "gbt/histogram.h"
 #include "util/metrics.h"
+#include "util/monitor.h"
 #include "util/rng.h"
 #include "util/trace.h"
 
@@ -111,6 +114,53 @@ void BM_TrainHistTraceEnabled(benchmark::State& state) {
       static_cast<double>(Tracer::Global().event_count());
 }
 BENCHMARK(BM_TrainHistTraceEnabled)
+    ->Args({2000, 64})
+    ->Unit(benchmark::kMillisecond);
+
+/// The monitored twin of BM_TrainHist/2000/64: a live Monitor heartbeats
+/// at an aggressive 50ms cadence (with the stall watchdog armed) while
+/// training runs. Comparing against BM_MonitorDisabled below bounds the
+/// monitor's overhead, budgeted at <= 1% — the monitor thread samples
+/// /proc and diffs counters off the training threads' critical path.
+void BM_MonitorOverhead(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0), state.range(1), 1);
+  const GbtParams params = BenchParams(TreeMethod::kHist);
+  mysawh::MonitorOptions options;
+  options.status_path = "/tmp/mysawh_bench_status.json";
+  options.interval_ms = 50;
+  options.stall_timeout_ms = 10000;
+  mysawh::Monitor monitor(options);
+  if (!monitor.Start().ok()) {
+    state.SkipWithError("monitor failed to start");
+    return;
+  }
+  for (auto _ : state) {
+    auto model = GbtModel::Train(data, params);
+    benchmark::DoNotOptimize(model);
+  }
+  monitor.Stop();
+  std::remove(options.status_path.c_str());
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["heartbeats"] =
+      static_cast<double>(monitor.heartbeats_written());
+}
+BENCHMARK(BM_MonitorOverhead)
+    ->Args({2000, 64})
+    ->Unit(benchmark::kMillisecond);
+
+/// The no-monitor twin, byte-for-byte the same training loop. The
+/// perf-trend diff pairs this with BM_MonitorOverhead so the overhead
+/// number never conflates monitor cost with unrelated training drift.
+void BM_MonitorDisabled(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0), state.range(1), 1);
+  const GbtParams params = BenchParams(TreeMethod::kHist);
+  for (auto _ : state) {
+    auto model = GbtModel::Train(data, params);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MonitorDisabled)
     ->Args({2000, 64})
     ->Unit(benchmark::kMillisecond);
 

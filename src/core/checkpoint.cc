@@ -10,6 +10,7 @@
 #include "util/failpoint.h"
 #include "util/file_io.h"
 #include "util/metrics.h"
+#include "util/resource_stats.h"
 #include "util/serialization.h"
 #include "util/string_util.h"
 #include "util/trace.h"
@@ -240,8 +241,10 @@ Status SaveCellCheckpoint(const std::string& dir,
   const std::string path =
       dir + "/" +
       CheckpointFileName(result.outcome, result.approach, result.with_fi);
-  return WriteFileChecksummed(path, SerializeExperimentResult(result, fingerprint),
-                              "checkpoint_write");
+  const std::string payload = SerializeExperimentResult(result, fingerprint);
+  TrackAlloc(AllocCategory::kCheckpoint,
+             static_cast<int64_t>(payload.size()));
+  return WriteFileChecksummed(path, payload, "checkpoint_write");
 }
 
 Result<ExperimentResult> LoadCellCheckpoint(const std::string& dir,
@@ -256,6 +259,8 @@ Result<ExperimentResult> LoadCellCheckpoint(const std::string& dir,
   TraceSpan span("checkpoint.load", "io");
   ScopedLatencyTimer timer(Metrics().load_us);
   MYSAWH_ASSIGN_OR_RETURN(std::string payload, ReadFileChecksummed(path));
+  TrackAlloc(AllocCategory::kCheckpoint,
+             static_cast<int64_t>(payload.size()));
   MYSAWH_ASSIGN_OR_RETURN(ExperimentResult result,
                           DeserializeExperimentResult(payload, fingerprint));
   if (result.outcome != outcome || result.approach != approach ||

@@ -5,6 +5,8 @@
 
 #include "util/file_io.h"
 #include "util/metrics.h"
+#include "util/monitor.h"
+#include "util/trace.h"
 #include "util/version.h"
 
 namespace mysawh::core {
@@ -85,6 +87,22 @@ std::string BuildRunManifestJson(const StudyConfig& config,
   }
   os << "},";
   os << "\"metrics\":" << MetricsRegistry::Global().SnapshotJson();
+  // Optional live-observability blocks: the study's closing heartbeat when
+  // a monitor is running, and the per-span cost table when this run traced
+  // with cost attribution. Plain runs omit both, keeping the manifest
+  // byte-stable for the pre-monitor pipeline.
+  if (Monitor* monitor = Monitor::Current()) {
+    std::string status = monitor->BuildHeartbeatJson(/*final_heartbeat=*/true);
+    while (!status.empty() &&
+           (status.back() == '\n' || status.back() == '\r')) {
+      status.pop_back();
+    }
+    os << ",\"final_status\":" << status;
+  }
+  if (TracingEnabled() && CostAttributionEnabled()) {
+    const std::string costs = Tracer::Global().CostTableJson(/*top_n=*/10);
+    if (!costs.empty()) os << ",\"span_costs\":" << costs;
+  }
   os << "}";
   return os.str();
 }

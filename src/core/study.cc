@@ -32,10 +32,12 @@ Status EnsureCheckpointDir(const std::string& dir) {
 }
 
 /// Study-grid instruments: resume hit/miss split plus full-cell latency.
+/// `cells_total` lets the live monitor render "done/total" progress.
 struct StudyMetrics {
   Counter* cells_computed;
   Counter* resume_hits;
   Counter* resume_misses;
+  Gauge* cells_total;
   LatencyHistogram* cell_us;
 };
 
@@ -45,6 +47,7 @@ StudyMetrics& Metrics() {
     return StudyMetrics{registry.GetCounter("study.cells_computed"),
                         registry.GetCounter("study.resume_hits"),
                         registry.GetCounter("study.resume_misses"),
+                        registry.GetGauge("study.cells_total"),
                         registry.GetHistogram("study.cell_us")};
   }();
   return metrics;
@@ -202,6 +205,7 @@ Result<StudyResult> RunFullStudy(const StudyConfig& config) {
     MYSAWH_RETURN_NOT_OK(EnsureCheckpointDir(config.checkpoint_dir));
   }
   ThreadPool pool(num_threads);
+  Metrics().cells_total->Set(static_cast<int64_t>(jobs.size()));
   std::vector<Result<ExperimentResult>> outcomes_by_cell;
   outcomes_by_cell.reserve(jobs.size());
   for (size_t i = 0; i < jobs.size(); ++i) {

@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "util/resource_stats.h"
 #include "util/trace.h"
 
 namespace mysawh::gbt {
@@ -270,8 +271,13 @@ Result<BinnedData> BuildBinned(const Dataset& data, int max_bins,
   out.matrix.narrow_ = narrow;
   if (narrow) {
     out.matrix.bytes_.resize(static_cast<size_t>(n * nf));
+    TrackAlloc(AllocCategory::kBinnedMatrix,
+               static_cast<int64_t>(out.matrix.bytes_.size()));
   } else {
     out.matrix.bins_.resize(static_cast<size_t>(n * nf));
+    TrackAlloc(AllocCategory::kBinnedMatrix,
+               static_cast<int64_t>(out.matrix.bins_.size() *
+                                    sizeof(uint16_t)));
   }
   auto build_feature = [&](int64_t f) {
     std::vector<double>* cuts = &out.bins.cuts_[static_cast<size_t>(f)];

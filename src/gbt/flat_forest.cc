@@ -8,6 +8,7 @@
 
 #include "util/file_io.h"
 #include "util/metrics.h"
+#include "util/resource_stats.h"
 #include "util/serialization.h"
 #include "util/string_util.h"
 #include "util/trace.h"
@@ -210,6 +211,10 @@ void FlatForest::BuildDerivedState() {
   node_meta_.assign(total, 0);
   children_.resize(total * 2);
   node_value_.assign(total, 0.0);
+  TrackAlloc(AllocCategory::kFlatForest,
+             static_cast<int64_t>(total * sizeof(uint32_t) +
+                                  total * 2 * sizeof(int32_t) +
+                                  total * sizeof(double)));
   for (size_t n = 0; n < internal; ++n) {
     node_meta_[n] =
         (static_cast<uint32_t>(static_cast<uint16_t>(feature_[n])) << 9) |

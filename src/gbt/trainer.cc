@@ -23,6 +23,7 @@ struct TrainerMetrics {
   Counter* hist_nodes_direct;
   Counter* hist_nodes_subtracted;
   Counter* trees_grown;
+  Counter* rounds_completed;
   LatencyHistogram* tree_us;
 };
 
@@ -33,6 +34,7 @@ TrainerMetrics& Metrics() {
         registry.GetCounter("gbt.train.hist_nodes_direct"),
         registry.GetCounter("gbt.train.hist_nodes_subtracted"),
         registry.GetCounter("gbt.train.trees_grown"),
+        registry.GetCounter("gbt.train.rounds_completed"),
         registry.GetHistogram("gbt.train.tree_us")};
   }();
   return metrics;
@@ -733,6 +735,9 @@ Result<GbtModel> Trainer::Run(const Dataset* validation, TrainingLog* log) {
            << ",\"gain\":" << TelemetryDouble(tree_gain);
       telemetry.Line("round", line.str());
     }
+    // Live progress for the stall watchdog: unlike the bulk flush below,
+    // this counter must advance *during* training, one round at a time.
+    Metrics().rounds_completed->Increment();
     if (validation != nullptr) {
       if (valid_metric < best_metric) {
         best_metric = valid_metric;

@@ -1,6 +1,8 @@
 #include "util/metrics.h"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -20,6 +22,36 @@ void LatencyHistogram::Record(int64_t micros) {
          !max_.compare_exchange_weak(seen, micros,
                                      std::memory_order_relaxed)) {
   }
+}
+
+int64_t HistogramQuantileFromBuckets(const int64_t* buckets, int num_buckets,
+                                     int64_t max_micros, double q) {
+  int64_t count = 0;
+  for (int b = 0; b < num_buckets; ++b) count += buckets[b];
+  if (count <= 0) return 0;
+  if (q <= 0.0) q = 1.0 / static_cast<double>(count);
+  if (q > 1.0) q = 1.0;
+  // 1-based target rank; ceil without floating-point edge surprises.
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(
+                               std::ceil(q * static_cast<double>(count))));
+  int64_t cumulative = 0;
+  for (int b = 0; b < num_buckets; ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) {
+      if (b == 0) return 0;
+      if (b == num_buckets - 1) return max_micros;
+      // Bucket b spans [2^(b-1), 2^b); its inclusive upper edge.
+      return (int64_t{1} << b) - 1;
+    }
+  }
+  return max_micros;
+}
+
+int64_t LatencyHistogram::ApproxQuantileMicros(double q) const {
+  int64_t buckets[kNumBuckets];
+  for (int b = 0; b < kNumBuckets; ++b) buckets[b] = BucketCount(b);
+  return HistogramQuantileFromBuckets(buckets, kNumBuckets, MaxMicros(), q);
 }
 
 void LatencyHistogram::Reset() {
@@ -129,6 +161,17 @@ std::string MetricsRegistry::SnapshotJson() const {
   }
   os << (first ? "" : "\n  ") << "}\n}\n";
   return os.str();
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, int64_t>> values;
+  values.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    values.emplace_back(name, counter->Value());
+  }
+  return values;
 }
 
 void MetricsRegistry::ResetAll() {

@@ -8,6 +8,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace mysawh {
 
@@ -87,12 +89,32 @@ class LatencyHistogram {
   }
   void Reset();
 
+  /// Approximate `q`-quantile (q in (0, 1]) in microseconds, resolved to
+  /// the upper edge of the bucket holding the rank-ceil(q*count) sample
+  /// (the unbounded last bucket reports the recorded max). Returns 0 on an
+  /// empty histogram. See HistogramQuantileFromBuckets for the exact
+  /// semantics; p50/p90/p99 in the `report` dashboard come from here.
+  int64_t ApproxQuantileMicros(double q) const;
+
  private:
   std::atomic<int64_t> buckets_[kNumBuckets] = {};
   std::atomic<int64_t> count_{0};
   std::atomic<int64_t> sum_{0};
   std::atomic<int64_t> max_{0};
 };
+
+/// Quantile extraction from a power-of-two bucket layout, shared by
+/// LatencyHistogram::ApproxQuantileMicros and artifact readers (the
+/// `report` dashboard re-derives percentiles from snapshot bucket arrays).
+///
+/// Semantics, chosen to be exactly unit-testable: the target rank is
+/// ceil(q * count) (1-based); the answer is the representative value of the
+/// first bucket whose cumulative count reaches that rank — 0 for bucket 0,
+/// 2^i - 1 (the bucket's inclusive upper edge) for bucket i >= 1, and
+/// `max_micros` for the unbounded last bucket. `q` is clamped to (0, 1];
+/// an empty histogram returns 0.
+int64_t HistogramQuantileFromBuckets(const int64_t* buckets, int num_buckets,
+                                     int64_t max_micros, double q);
 
 /// RAII wall-clock timer recording into a LatencyHistogram on destruction.
 class ScopedLatencyTimer {
@@ -126,6 +148,10 @@ class MetricsRegistry {
   /// top-level object with "counters" / "gauges" / "histograms" objects
   /// whose keys appear in sorted order. See docs/observability.md.
   std::string SnapshotJson() const;
+
+  /// Every registered counter as (name, value) in sorted name order. The
+  /// monitor diffs two of these to report per-heartbeat activity deltas.
+  std::vector<std::pair<std::string, int64_t>> CounterValues() const;
 
   /// Zeroes every instrument (names and pointers survive). For tests and
   /// benchmarks that measure deltas from a clean slate; production code

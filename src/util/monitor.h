@@ -1,0 +1,129 @@
+#ifndef MYSAWH_UTIL_MONITOR_H_
+#define MYSAWH_UTIL_MONITOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mysawh {
+
+/// The live-run monitor: a background thread that periodically writes a
+/// `status.json` heartbeat (schema `mysawh-status v1`) so an operator can
+/// watch a long study or training run *while it executes*, instead of
+/// waiting for the post-run artifacts. `tools/watch_status.py` tails the
+/// file in a terminal.
+///
+/// Every heartbeat is one atomic temp->rename write (util/file_io), so a
+/// reader never sees a torn JSON document; the file always holds the most
+/// recent heartbeat, and a monotonic `seq` field tells readers whether
+/// they missed any. The document carries: uptime, a /proc resource sample
+/// (util/resource_stats), current progress-counter values, study cell
+/// progress, the ThreadPool queue backlog, the nonzero counter deltas
+/// since the previous heartbeat, and a bounded ring of recent events
+/// (currently: stall reports).
+///
+/// Stall watchdog: when `stall_timeout_ms > 0` the monitor also tracks a
+/// set of *progress counters* — counters that only advance when real work
+/// completes (training rounds, study cells, predicted rows; never
+/// `file_io.*`, which the heartbeat writes themselves increment). If none
+/// of them advances for a full timeout window, the monitor emits exactly
+/// one `stall` event — into the status stream, the trace buffer (when
+/// tracing), and the `monitor.stalls` counter — with the queue state and
+/// the most recently completed span names. The latch re-arms when
+/// progress resumes, so a run that stalls twice reports twice, but a
+/// wedged minute reports once, not sixty times.
+///
+/// The monitor only *observes*: it never blocks worker threads, and a
+/// monitored run's REPORT.md / model artifacts are bit-identical to an
+/// unmonitored run (tests/gbt_determinism_test.cc holds this).
+struct MonitorOptions {
+  /// Destination of the heartbeat file. Required.
+  std::string status_path;
+  /// Milliseconds between heartbeats.
+  int64_t interval_ms = 1000;
+  /// Watchdog timeout; 0 disables the watchdog.
+  int64_t stall_timeout_ms = 0;
+};
+
+class Monitor {
+ public:
+  explicit Monitor(MonitorOptions options);
+  /// Stops the background thread if Start() was called without Stop().
+  ~Monitor();
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Starts the background heartbeat thread and publishes this monitor as
+  /// Current(). Writes heartbeat seq 0 synchronously before returning, so
+  /// a status file exists the moment the monitored work begins.
+  Status Start();
+
+  /// Stops the thread and writes one last heartbeat with `"final": true`
+  /// (the signal watch_status.py exits on). Idempotent.
+  void Stop();
+
+  /// Builds one heartbeat document without writing it. Thread-safe;
+  /// advances `seq` and the delta baseline exactly like a periodic tick.
+  /// The manifest builder embeds `BuildHeartbeatJson(true)` as the run's
+  /// `final_status` block.
+  std::string BuildHeartbeatJson(bool final_heartbeat);
+
+  /// Builds and atomically writes one heartbeat now (a synchronous tick).
+  Status ForceHeartbeat(bool final_heartbeat = false);
+
+  /// Adds a counter to the watchdog's progress set (before Start()).
+  /// The constructor installs the standard set; tests add their own.
+  void RegisterProgressCounter(const std::string& name);
+
+  int64_t heartbeats_written() const {
+    return heartbeats_.load(std::memory_order_relaxed);
+  }
+  int64_t stall_events() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+  /// The process's active monitor, or nullptr. Published by Start() and
+  /// retracted by Stop()/destruction; at most one monitor runs at a time.
+  static Monitor* Current();
+
+ private:
+  void Loop();
+  /// One watchdog evaluation; appends a stall event when the latch fires.
+  void CheckStall(int64_t uptime_ms);
+  int64_t UptimeMs() const;
+
+  const MonitorOptions options_;
+  std::vector<std::string> progress_counter_names_;
+
+  std::thread thread_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  bool started_ = false;
+
+  /// Guards heartbeat construction state (seq, deltas, events, watchdog).
+  std::mutex tick_mutex_;
+  int64_t next_seq_ = 0;
+  std::vector<std::pair<std::string, int64_t>> last_counter_values_;
+  std::vector<std::string> event_jsons_;  ///< Bounded, oldest dropped.
+  int64_t last_progress_uptime_ms_ = 0;
+  std::vector<int64_t> last_progress_values_;
+  bool stall_latched_ = false;
+
+  std::atomic<int64_t> heartbeats_{0};
+  std::atomic<int64_t> stalls_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace mysawh
+
+#endif  // MYSAWH_UTIL_MONITOR_H_

@@ -1,0 +1,82 @@
+#ifndef MYSAWH_UTIL_RESOURCE_STATS_H_
+#define MYSAWH_UTIL_RESOURCE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mysawh {
+
+/// Cheap process resource sampling plus allocation accounting for the
+/// pipeline's big memory owners.
+///
+/// Two independent facilities live here:
+///
+///   * SampleResources() reads /proc/self/{stat,status} into a
+///     ResourceSample (RSS, peak RSS, user/system CPU time, page faults,
+///     thread count). One sample costs two small file reads — cheap enough
+///     for a monitor ticking every few hundred milliseconds, far too
+///     expensive for a per-row hot path. On non-Linux builds every field
+///     is zero and `valid` is false.
+///
+///   * TrackAlloc() is the relaxed-atomic accounting hook the big owners
+///     (binned training matrices, compiled flat-forest node blocks,
+///     checkpoint serialization buffers) call when they size a buffer.
+///     Each category feeds a registry gauge (`alloc.<category>_bytes`,
+///     cumulative bytes allocated — see docs/observability.md) and a
+///     per-thread cumulative total that trace spans delta for per-span
+///     allocation attribution (util/trace.h). A hook costs two relaxed
+///     atomic adds; there is no free-side hook — live memory is what
+///     SampleResources() reports, the gauges answer "who allocated".
+
+/// One point-in-time sample of /proc/self.
+struct ResourceSample {
+  int64_t rss_bytes = 0;       ///< VmRSS.
+  int64_t peak_rss_bytes = 0;  ///< VmHWM (high-water mark).
+  double utime_ms = 0.0;       ///< User CPU time of the whole process.
+  double stime_ms = 0.0;       ///< System CPU time of the whole process.
+  int64_t minor_faults = 0;
+  int64_t major_faults = 0;
+  int64_t num_threads = 0;
+  bool valid = false;  ///< False when /proc was unreadable (non-Linux).
+};
+
+/// Reads the current process sample. Never fails: unreadable fields stay
+/// zero and `valid` reports whether /proc/self/stat parsed.
+ResourceSample SampleResources();
+
+/// Publishes `sample` into the registry gauges `resource.rss_bytes`,
+/// `resource.peak_rss_bytes`, `resource.utime_ms`, `resource.stime_ms`,
+/// `resource.minor_faults`, `resource.major_faults`, `resource.threads`.
+/// Called by the monitor on every heartbeat so a metrics snapshot taken at
+/// any time carries the latest resource state.
+void UpdateResourceGauges(const ResourceSample& sample);
+
+/// Renders `sample` as one deterministic-layout JSON object
+/// (`{"rss_bytes":...,"peak_rss_bytes":...,...}`).
+std::string ResourceSampleJson(const ResourceSample& sample);
+
+/// The tracked big-owner allocation categories.
+enum class AllocCategory {
+  kBinnedMatrix = 0,  ///< Quantized training matrices (gbt/binning).
+  kFlatForest = 1,    ///< Compiled flat-forest node blocks (gbt/flat_forest).
+  kCheckpoint = 2,    ///< Checkpoint serialization buffers (core/checkpoint).
+};
+inline constexpr int kNumAllocCategories = 3;
+
+/// Gauge name of a category ("alloc.binned_matrix_bytes", ...).
+const char* AllocCategoryGaugeName(AllocCategory category);
+
+/// Accounts `bytes` allocated by `category`: adds to the category's
+/// registry gauge and to the calling thread's cumulative tracked total.
+/// Hot-path safe (two relaxed atomic adds); negative or zero byte counts
+/// are ignored.
+void TrackAlloc(AllocCategory category, int64_t bytes);
+
+/// Cumulative tracked-allocation bytes of the calling thread, across all
+/// categories. Trace spans delta this across their lifetime to attribute
+/// big-owner allocations to the span that caused them.
+int64_t ThreadAllocBytes();
+
+}  // namespace mysawh
+
+#endif  // MYSAWH_UTIL_RESOURCE_STATS_H_

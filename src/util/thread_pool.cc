@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/failpoint.h"
 #include "util/metrics.h"
@@ -45,6 +46,13 @@ void RunAccounted(const std::function<void()>& task) {
   if (TaskDropped()) {
     Metrics().dropped->Increment();
     return;
+  }
+  // Fault site for the stall watchdog: a triggering hit wedges the task
+  // (sleeps long enough for a short-timeout watchdog to fire) before
+  // running it normally, so the run survives while the monitor observes
+  // a genuine progress gap.
+  if (MYSAWH_FAILPOINT_TRIGGERED("thread_pool/wedge")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
   }
   ScopedLatencyTimer timer(Metrics().task_us);
   task();

@@ -45,6 +45,8 @@ struct TraceEvent {
   int64_t dur_us = 0;  ///< Wall-clock duration in microseconds.
   int tid = 0;         ///< Small dense thread id, assigned per session use.
   std::string args;    ///< Pre-rendered JSON object body ("" = no args).
+  int64_t cpu_us = -1;       ///< Thread-CPU-time delta; -1 = not captured.
+  int64_t alloc_bytes = -1;  ///< Tracked-allocation delta; -1 = not captured.
 };
 
 namespace trace_internal {
@@ -52,6 +54,11 @@ namespace trace_internal {
 /// static) so the disabled fast path is exactly one relaxed load with no
 /// init guard.
 extern std::atomic<bool> g_enabled;
+/// Per-span cost attribution flag. Off by default even when tracing is on,
+/// because capturing CLOCK_THREAD_CPUTIME_ID twice per span is measurably
+/// more expensive than the plain wall-clock pair; opt in via
+/// Tracer::SetCostAttribution (CLI `--span-costs`).
+extern std::atomic<bool> g_cost_attribution;
 }  // namespace trace_internal
 
 /// True when a trace session is active. The one-load fast path; call
@@ -59,6 +66,12 @@ extern std::atomic<bool> g_enabled;
 /// mode allocates nothing.
 inline bool TracingEnabled() {
   return trace_internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// True when spans additionally capture thread-CPU-time and allocation
+/// deltas. Only meaningful while TracingEnabled().
+inline bool CostAttributionEnabled() {
+  return trace_internal::g_cost_attribution.load(std::memory_order_relaxed);
 }
 
 /// The process-wide span collector.
@@ -73,6 +86,18 @@ class Tracer {
   /// destruction (they are part of the session being closed).
   void Disable();
   bool enabled() const { return TracingEnabled(); }
+
+  /// Turns per-span cost attribution on or off (see CostAttributionEnabled).
+  void SetCostAttribution(bool enabled);
+
+  /// Caps each per-thread buffer at `max_events` events (0 = unbounded,
+  /// the default). Events recorded past the cap are dropped and counted in
+  /// the `trace.dropped_events` counter — a bounded trace beats an
+  /// unbounded heap on a long run. Call quiescent; applies to the current
+  /// session (Enable() keeps the configured cap).
+  void SetMaxEventsPerThread(size_t max_events);
+  /// Events dropped by the per-thread cap since the session started.
+  int64_t dropped_events() const;
 
   /// Microseconds since the session started.
   int64_t NowMicros() const;
@@ -90,6 +115,21 @@ class Tracer {
   /// ToJson() written atomically to `path`.
   Status WriteJson(const std::string& path);
 
+  /// Deterministic per-span-name cost aggregation over the collected
+  /// session: `{"by_cpu":[{"name","count","cpu_us","alloc_bytes"},...],
+  /// "by_bytes":[...]}`, each list the top `top_n` names sorted descending
+  /// (name ascending on ties). Only events that captured costs contribute;
+  /// returns "" when none did. Call quiescent.
+  std::string CostTableJson(int top_n);
+
+  /// Arms a small ring of recently completed span names, consulted by the
+  /// stall watchdog to report what last finished before a wedge. Costs one
+  /// short mutex-protected push per recorded event, so it is only worth
+  /// paying while a watchdog is actually running; `capacity` 0 disarms.
+  void EnableRecentSpans(size_t capacity);
+  /// The armed ring's contents, oldest first. Empty when disarmed.
+  std::vector<std::string> RecentSpanNames();
+
   /// Per-thread event sink (public so the thread_local cache in trace.cc
   /// can name the type; not part of the API).
   struct ThreadBuffer {
@@ -106,6 +146,15 @@ class Tracer {
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
   int next_tid_ = 1;
+  std::atomic<size_t> max_events_per_thread_{0};
+
+  // The watchdog's recent-span ring. Guarded by its own mutex so Record()
+  // never contends with Snapshot()'s buffer walk.
+  std::mutex recent_mutex_;
+  std::vector<std::string> recent_names_;
+  size_t recent_capacity_ = 0;
+  size_t recent_next_ = 0;
+  std::atomic<bool> recent_enabled_{false};
 };
 
 /// RAII span. Construct with the static span name (a string literal); the
@@ -144,9 +193,12 @@ class TraceSpan {
   void Finish();
 
   bool active_ = false;
+  bool costed_ = false;  ///< This span captured cost-attribution baselines.
   std::string name_;
   const char* cat_ = "mysawh";
   int64_t start_us_ = 0;
+  int64_t start_cpu_us_ = 0;    ///< CLOCK_THREAD_CPUTIME_ID at Begin.
+  int64_t start_alloc_bytes_ = 0;  ///< ThreadAllocBytes() at Begin.
   std::string args_;
 };
 

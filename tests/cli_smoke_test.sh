@@ -127,4 +127,45 @@ test "$code" -eq 2 || { echo "report without inputs must exit 2, got $code" >&2;
 code_of "$CLI" report --manifest smoke_dd_fi.csv
 test "$code" -eq 2 || { echo "report on a CSV must exit 2, got $code" >&2; exit 1; }
 
+# --- live-run status heartbeats -------------------------------------------
+# A monitored run writes a final mysawh-status v1 heartbeat and, above all,
+# trains exactly the same model as an unmonitored run.
+"$CLI" train --data smoke_dd_fi.csv --num-trees 25 --out smoke3.model \
+  --status-out smoke_status.json --status-interval-ms 20 \
+  | grep -q "status heartbeats"
+test -f smoke_status.json
+grep -q '"schema":"mysawh-status v1"' smoke_status.json
+grep -q '"final":true' smoke_status.json
+cmp smoke.model smoke3.model || { echo "monitoring changed the model" >&2; exit 1; }
+
+# The tailer reads the final heartbeat and exits cleanly.
+if command -v python3 > /dev/null 2>&1; then
+  SCRIPT_DIR=$(dirname "$0")
+  python3 "$SCRIPT_DIR/../tools/watch_status.py" smoke_status.json --once \
+    | grep -q "final" || { echo "watch_status.py missed the final heartbeat" >&2; exit 1; }
+fi
+
+# Observability flag contract: dependent flags are usage errors when their
+# prerequisite is absent, and status paths are probed up front.
+code_of "$CLI" evaluate --status-out /does/not/exist/status.json
+test "$code" -eq 2 || { echo "bad --status-out must exit 2, got $code" >&2; exit 1; }
+code_of "$CLI" train --data smoke_dd_fi.csv --span-costs --out x.model
+test "$code" -eq 2 || { echo "--span-costs without --trace-out must exit 2, got $code" >&2; exit 1; }
+code_of "$CLI" train --data smoke_dd_fi.csv --stall-timeout-ms 100 --out x.model
+test "$code" -eq 2 || { echo "--stall-timeout-ms without --status-out must exit 2, got $code" >&2; exit 1; }
+code_of "$CLI" train --data smoke_dd_fi.csv --status-interval-ms banana \
+  --status-out s.json --out x.model
+test "$code" -eq 2 || { echo "malformed --status-interval-ms must exit 2, got $code" >&2; exit 1; }
+
+# --- report degrades gracefully on sparse manifests -----------------------
+# A manifest from an older pipeline (no cells / data_quality / telemetry
+# blocks) must render with warnings, not fail: exit 0, warning on stderr.
+printf '{"schema":"mysawh-run-manifest v1","git_describe":"none","fingerprint":"f0","seed":1,"eval_seed":2,"model_family":"gbt","cells":{},"data_quality":{},"metrics":{"counters":{},"gauges":{},"histograms":{}}}\n' > sparse_manifest.json
+code=0
+"$CLI" report --manifest sparse_manifest.json --out sparse_dash.md 2> sparse_warnings.txt || code=$?
+test "$code" -eq 0 || { echo "sparse manifest must exit 0, got $code" >&2; exit 1; }
+test -f sparse_dash.md
+grep -q "warning:" sparse_warnings.txt || { echo "sparse manifest must warn on stderr" >&2; exit 1; }
+grep -q "Provenance" sparse_dash.md
+
 echo "cli smoke test passed"

@@ -15,6 +15,7 @@
 
 #include "explain/tree_shap.h"
 #include "gbt/gbt_model.h"
+#include "util/monitor.h"
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 
@@ -121,6 +122,39 @@ TEST(DeterminismTest, TelemetryRecordingDoesNotChangeModel) {
       GbtModel::Train(train, params, &valid).value().Serialize();
   Telemetry::Global().Disable();
   EXPECT_EQ(instrumented, plain);
+}
+
+TEST(DeterminismTest, LiveMonitorDoesNotChangeModelOrTelemetry) {
+  // The monitor only observes: a run watched by a fast heartbeat (with the
+  // stall watchdog armed) must produce a bit-identical model and telemetry
+  // artifact, because nothing in the monitor feeds back into training.
+  const Dataset train = MakeData(1500);
+  const Dataset valid = MakeData(300);
+  const GbtParams params = BaseParams(TreeMethod::kHist);
+
+  Telemetry::Global().Enable();
+  const std::string plain_model =
+      GbtModel::Train(train, params, &valid).value().Serialize();
+  const std::string plain_telemetry = Telemetry::Global().ToJsonl();
+  Telemetry::Global().Disable();
+
+  MonitorOptions options;
+  options.status_path = ::testing::TempDir() + "/determinism_status.json";
+  options.interval_ms = 2;  // Aggressive: many heartbeats inside one train.
+  options.stall_timeout_ms = 50;
+  Monitor monitor(options);
+  ASSERT_TRUE(monitor.Start().ok());
+  Telemetry::Global().Enable();
+  const std::string monitored_model =
+      GbtModel::Train(train, params, &valid).value().Serialize();
+  const std::string monitored_telemetry = Telemetry::Global().ToJsonl();
+  Telemetry::Global().Disable();
+  monitor.Stop();
+
+  EXPECT_GE(monitor.heartbeats_written(), 2)
+      << "the monitor must actually have observed the run";
+  EXPECT_EQ(monitored_model, plain_model);
+  EXPECT_EQ(monitored_telemetry, plain_telemetry);
 }
 
 TEST(DeterminismTest, FlatPredictBitIdenticalToReferenceAcrossThreadCounts) {

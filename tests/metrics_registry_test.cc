@@ -122,6 +122,74 @@ TEST(MetricsRegistryTest, ResetAllZeroesEverything) {
   EXPECT_EQ(hist->MaxMicros(), 0);
 }
 
+TEST(MetricsRegistryTest, QuantilesResolveToBucketUpperEdges) {
+  // A three-mode distribution with hand-computable ranks: 50 samples of
+  // 1µs (bucket 1), 40 of 100µs (bucket 7: [64, 128)), 10 of 5000µs
+  // (bucket 13: [4096, 8192)).
+  LatencyHistogram hist;
+  for (int i = 0; i < 50; ++i) hist.Record(1);
+  for (int i = 0; i < 40; ++i) hist.Record(100);
+  for (int i = 0; i < 10; ++i) hist.Record(5000);
+  ASSERT_EQ(hist.Count(), 100);
+  // rank 50 lands at the end of bucket 1 -> upper edge 2^1 - 1 = 1.
+  EXPECT_EQ(hist.ApproxQuantileMicros(0.50), 1);
+  // rank 90 is the last 100µs sample -> 2^7 - 1 = 127.
+  EXPECT_EQ(hist.ApproxQuantileMicros(0.90), 127);
+  // rank 99 is a 5000µs sample -> 2^13 - 1 = 8191.
+  EXPECT_EQ(hist.ApproxQuantileMicros(0.99), 8191);
+  EXPECT_EQ(hist.ApproxQuantileMicros(1.0), 8191);
+  // Out-of-range q clamps: below to the first sample, above to the last.
+  EXPECT_EQ(hist.ApproxQuantileMicros(0.0), 1);
+  EXPECT_EQ(hist.ApproxQuantileMicros(1.5), 8191);
+}
+
+TEST(MetricsRegistryTest, QuantileEdgeCases) {
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.ApproxQuantileMicros(0.5), 0);
+
+  LatencyHistogram zeros;  // All-zero durations live in bucket 0.
+  for (int i = 0; i < 10; ++i) zeros.Record(0);
+  EXPECT_EQ(zeros.ApproxQuantileMicros(0.5), 0);
+  EXPECT_EQ(zeros.ApproxQuantileMicros(0.99), 0);
+
+  // The unbounded last bucket reports the recorded max, not an edge.
+  LatencyHistogram huge;
+  huge.Record(int64_t{1} << 40);
+  EXPECT_EQ(huge.ApproxQuantileMicros(0.5), int64_t{1} << 40);
+}
+
+TEST(MetricsRegistryTest, QuantileFromRawBucketArray) {
+  // The free function is what the `report` dashboard runs over manifest
+  // snapshots; exercise it on a hand-built layout. 2 zeros, 6 samples in
+  // bucket 3 ([4, 8)), 2 in the unbounded last bucket.
+  const int64_t buckets[5] = {2, 0, 0, 6, 2};
+  EXPECT_EQ(HistogramQuantileFromBuckets(buckets, 5, 999, 0.10), 0);
+  EXPECT_EQ(HistogramQuantileFromBuckets(buckets, 5, 999, 0.50), 7);
+  EXPECT_EQ(HistogramQuantileFromBuckets(buckets, 5, 999, 0.80), 7);
+  EXPECT_EQ(HistogramQuantileFromBuckets(buckets, 5, 999, 0.90), 999);
+  EXPECT_EQ(HistogramQuantileFromBuckets(buckets, 5, 999, 1.00), 999);
+  EXPECT_EQ(HistogramQuantileFromBuckets(nullptr, 0, 0, 0.5), 0);
+}
+
+TEST(MetricsRegistryTest, CounterValuesAreSortedAndComplete) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.values_b")->Increment(2);
+  registry.GetCounter("test.values_a")->Increment(1);
+  const auto values = registry.CounterValues();
+  ASSERT_GE(values.size(), 2u);
+  for (size_t i = 1; i < values.size(); ++i) {
+    EXPECT_LT(values[i - 1].first, values[i].first)
+        << "names must come back strictly sorted";
+  }
+  int64_t a = -1, b = -1;
+  for (const auto& [name, value] : values) {
+    if (name == "test.values_a") a = value;
+    if (name == "test.values_b") b = value;
+  }
+  EXPECT_GE(a, 1);
+  EXPECT_GE(b, 2);
+}
+
 TEST(MetricsRegistryTest, ScopedTimerRecordsOneSample) {
   LatencyHistogram hist;
   { ScopedLatencyTimer timer(&hist); }

@@ -1,0 +1,253 @@
+/// Tests of the live-run monitor (util/monitor.h): heartbeat documents,
+/// the stall watchdog's one-event latch, the failpoint-driven wedged-pool
+/// scenario, and the /proc resource sampler feeding the heartbeats.
+
+#include "util/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "util/failpoint.h"
+#include "util/file_io.h"
+#include "util/json.h"
+#include "util/metrics.h"
+#include "util/resource_stats.h"
+#include "util/thread_pool.h"
+
+namespace mysawh {
+namespace {
+
+std::string TempStatusPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+JsonValue ReadStatus(const std::string& path) {
+  auto text = ReadFileToString(path);
+  EXPECT_TRUE(text.ok()) << text.status().ToString();
+  auto parsed = ParseJson(*text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.ok() ? *parsed : JsonValue();
+}
+
+void SleepMs(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+TEST(MonitorTest, HeartbeatIsValidStatusV1WithAdvancingSeq) {
+  MonitorOptions options;
+  options.status_path = TempStatusPath("monitor_heartbeat.json");
+  options.interval_ms = 600000;  // Only explicit ticks in this test.
+  Monitor monitor(options);
+  ASSERT_TRUE(monitor.Start().ok());
+  EXPECT_EQ(Monitor::Current(), &monitor);
+
+  // Start() writes seq 0 synchronously: the file exists before any work.
+  JsonValue first = ReadStatus(options.status_path);
+  ASSERT_TRUE(first.is_object());
+  EXPECT_EQ(first.StringOr("schema", ""), "mysawh-status v1");
+  EXPECT_EQ(first.NumberOr("seq", -1), 0);
+  const JsonValue* final_flag = first.Find("final");
+  ASSERT_NE(final_flag, nullptr);
+  EXPECT_TRUE(final_flag->is_bool());
+  EXPECT_FALSE(final_flag->bool_value());
+  EXPECT_GE(first.NumberOr("uptime_ms", -1), 0);
+  EXPECT_EQ(first.NumberOr("interval_ms", -1), 600000);
+  const JsonValue* resource = first.Find("resource");
+  ASSERT_NE(resource, nullptr);
+  ASSERT_TRUE(resource->is_object());
+  const JsonValue* progress = first.Find("progress");
+  ASSERT_NE(progress, nullptr);
+  EXPECT_TRUE(progress->is_object());
+  ASSERT_NE(first.Find("study"), nullptr);
+  ASSERT_NE(first.Find("queue_depth"), nullptr);
+  const JsonValue* deltas = first.Find("counters_delta");
+  ASSERT_NE(deltas, nullptr);
+  EXPECT_TRUE(deltas->is_object());
+  const JsonValue* events = first.Find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->is_array());
+
+  ASSERT_TRUE(monitor.ForceHeartbeat().ok());
+  EXPECT_EQ(ReadStatus(options.status_path).NumberOr("seq", -1), 1);
+
+  monitor.Stop();
+  EXPECT_EQ(Monitor::Current(), nullptr);
+  JsonValue last = ReadStatus(options.status_path);
+  EXPECT_EQ(last.NumberOr("seq", -1), 2);
+  const JsonValue* final_last = last.Find("final");
+  ASSERT_NE(final_last, nullptr);
+  EXPECT_TRUE(final_last->bool_value());
+  EXPECT_EQ(monitor.heartbeats_written(), 3);
+}
+
+TEST(MonitorTest, CounterDeltasReportOnlyChangedCounters) {
+  Counter* moved = MetricsRegistry::Global().GetCounter("test.monitor_moved");
+  Counter* still = MetricsRegistry::Global().GetCounter("test.monitor_still");
+  (void)still;  // Registered but never incremented between heartbeats.
+  MonitorOptions options;
+  options.status_path = TempStatusPath("monitor_deltas.json");
+  options.interval_ms = 600000;
+  Monitor monitor(options);
+  ASSERT_TRUE(monitor.Start().ok());
+
+  moved->Increment(5);
+  ASSERT_TRUE(monitor.ForceHeartbeat().ok());
+  JsonValue status = ReadStatus(options.status_path);
+  const JsonValue* deltas = status.Find("counters_delta");
+  ASSERT_NE(deltas, nullptr);
+  const JsonValue* moved_delta = deltas->Find("test.monitor_moved");
+  ASSERT_NE(moved_delta, nullptr);
+  EXPECT_EQ(moved_delta->number_value(), 5);
+  EXPECT_EQ(deltas->Find("test.monitor_still"), nullptr)
+      << "unchanged counters must not appear in the delta block";
+
+  // A quiescent tick reports an empty delta for the moved counter too.
+  ASSERT_TRUE(monitor.ForceHeartbeat().ok());
+  status = ReadStatus(options.status_path);
+  deltas = status.Find("counters_delta");
+  ASSERT_NE(deltas, nullptr);
+  EXPECT_EQ(deltas->Find("test.monitor_moved"), nullptr);
+  monitor.Stop();
+}
+
+TEST(MonitorTest, StallLatchFiresOnceAndRearmsOnProgress) {
+  Counter* progress =
+      MetricsRegistry::Global().GetCounter("test.monitor_latch_progress");
+  MonitorOptions options;
+  options.status_path = TempStatusPath("monitor_latch.json");
+  options.interval_ms = 600000;  // Ticks are driven explicitly below.
+  options.stall_timeout_ms = 50;
+  Monitor monitor(options);
+  monitor.RegisterProgressCounter("test.monitor_latch_progress");
+  ASSERT_TRUE(monitor.Start().ok());
+
+  // Progress observed: no stall, baseline re-primed.
+  progress->Increment();
+  ASSERT_TRUE(monitor.ForceHeartbeat().ok());
+  EXPECT_EQ(monitor.stall_events(), 0);
+
+  // A full timeout of silence: exactly one stall, then the latch holds.
+  SleepMs(120);
+  ASSERT_TRUE(monitor.ForceHeartbeat().ok());
+  EXPECT_EQ(monitor.stall_events(), 1);
+  SleepMs(60);
+  ASSERT_TRUE(monitor.ForceHeartbeat().ok());
+  EXPECT_EQ(monitor.stall_events(), 1) << "latched stalls must not repeat";
+
+  JsonValue status = ReadStatus(options.status_path);
+  const JsonValue* events = status.Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array_items().size(), 1u);
+  const JsonValue& stall = events->array_items()[0];
+  EXPECT_EQ(stall.StringOr("type", ""), "stall");
+  EXPECT_GE(stall.NumberOr("silent_ms", -1), options.stall_timeout_ms);
+  EXPECT_GE(stall.NumberOr("queue_depth", -1), 0);
+  const JsonValue* spans = stall.Find("recent_spans");
+  ASSERT_NE(spans, nullptr);
+  EXPECT_TRUE(spans->is_array());
+
+  // Progress re-arms the latch; a second silent window is a second stall.
+  progress->Increment();
+  ASSERT_TRUE(monitor.ForceHeartbeat().ok());
+  EXPECT_EQ(monitor.stall_events(), 1);
+  SleepMs(120);
+  ASSERT_TRUE(monitor.ForceHeartbeat().ok());
+  EXPECT_EQ(monitor.stall_events(), 2);
+  monitor.Stop();
+}
+
+TEST(MonitorTest, WedgedPoolTaskTriggersOneStallAndRunSurvives) {
+  Counter* progress =
+      MetricsRegistry::Global().GetCounter("test.monitor_wedge_progress");
+  const int64_t progress_before = progress->Value();
+  MonitorOptions options;
+  options.status_path = TempStatusPath("monitor_wedge.json");
+  options.interval_ms = 10;
+  options.stall_timeout_ms = 60;
+  Monitor monitor(options);
+  monitor.RegisterProgressCounter("test.monitor_wedge_progress");
+  ASSERT_TRUE(monitor.Start().ok());
+
+  // One worker, first task wedged (the failpoint sleeps it for 250ms
+  // before running the body): the pool goes silent for several timeout
+  // windows with work queued behind the wedge. The watchdog must report
+  // the stall exactly once, and every task must still complete.
+  FailpointRegistry::Global().Enable("thread_pool/wedge",
+                                     FailpointSpec::Once());
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 4; ++i) {
+      pool.Submit([progress] { progress->Increment(); });
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (monitor.stall_events() == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      SleepMs(5);
+    }
+    pool.Wait();
+  }
+  FailpointRegistry::Global().DisableAll();
+
+  EXPECT_EQ(monitor.stall_events(), 1)
+      << "one wedge is one stall event, not one per tick";
+  EXPECT_EQ(progress->Value(), progress_before + 4)
+      << "the wedged run must survive and finish its work";
+  monitor.Stop();
+  JsonValue status = ReadStatus(options.status_path);
+  const JsonValue* events = status.Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array_items().size(), 1u);
+  EXPECT_EQ(events->array_items()[0].StringOr("type", ""), "stall");
+}
+
+TEST(MonitorTest, StartFailsCleanlyOnUnwritableStatusPath) {
+  MonitorOptions options;
+  options.status_path = ::testing::TempDir() + "/no_such_dir/status.json";
+  Monitor monitor(options);
+  EXPECT_FALSE(monitor.Start().ok());
+  EXPECT_EQ(Monitor::Current(), nullptr);
+  monitor.Stop();  // Must be a safe no-op after a failed Start().
+}
+
+TEST(ResourceStatsTest, SampleReportsLiveProcessNumbers) {
+  const ResourceSample sample = SampleResources();
+#ifdef __linux__
+  ASSERT_TRUE(sample.valid);
+  EXPECT_GT(sample.rss_bytes, 0);
+  EXPECT_GE(sample.peak_rss_bytes, sample.rss_bytes);
+  EXPECT_GE(sample.utime_ms + sample.stime_ms, 0);
+  EXPECT_GE(sample.num_threads, 1);
+  EXPECT_GT(sample.minor_faults, 0);
+#else
+  EXPECT_FALSE(sample.valid);
+#endif
+  const std::string json = ResourceSampleJson(sample);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->is_object());
+  ASSERT_NE(parsed->Find("rss_bytes"), nullptr);
+  ASSERT_NE(parsed->Find("valid"), nullptr);
+}
+
+TEST(ResourceStatsTest, TrackAllocFeedsGaugeAndThreadTotal) {
+  Gauge* gauge = MetricsRegistry::Global().GetGauge(
+      AllocCategoryGaugeName(AllocCategory::kCheckpoint));
+  const int64_t gauge_before = gauge->Value();
+  const int64_t thread_before = ThreadAllocBytes();
+  TrackAlloc(AllocCategory::kCheckpoint, 4096);
+  TrackAlloc(AllocCategory::kCheckpoint, 1024);
+  EXPECT_EQ(gauge->Value(), gauge_before + 5120);
+  EXPECT_EQ(ThreadAllocBytes(), thread_before + 5120);
+  // The per-thread total is thread-local: another thread's allocations
+  // must not leak into this thread's span cost deltas.
+  std::thread other([] { TrackAlloc(AllocCategory::kCheckpoint, 999); });
+  other.join();
+  EXPECT_EQ(ThreadAllocBytes(), thread_before + 5120);
+}
+
+}  // namespace
+}  // namespace mysawh

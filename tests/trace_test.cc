@@ -10,6 +10,9 @@
 #include <vector>
 
 #include "util/file_io.h"
+#include "util/json.h"
+#include "util/metrics.h"
+#include "util/resource_stats.h"
 
 namespace mysawh {
 namespace {
@@ -137,6 +140,94 @@ TEST_F(TraceTest, WriteJsonRoundTripsThroughTheFilesystem) {
   const auto text = ReadFileToString(path);
   ASSERT_TRUE(text.ok());
   EXPECT_NE(text->find("unit.file"), std::string::npos);
+}
+
+TEST_F(TraceTest, PerThreadCapDropsAndCountsOverflow) {
+  Counter* dropped =
+      MetricsRegistry::Global().GetCounter("trace.dropped_events");
+  Tracer::Global().SetMaxEventsPerThread(5);
+  for (int i = 0; i < 12; ++i) {
+    TraceSpan span("unit.capped", "test");
+  }
+  EXPECT_EQ(Tracer::Global().event_count(), 5u);
+  EXPECT_EQ(Tracer::Global().dropped_events(), 7);
+  EXPECT_EQ(dropped->Value(), 7);
+  // A new session resets the dropped count along with the buffers.
+  Tracer::Global().Enable();
+  EXPECT_EQ(Tracer::Global().dropped_events(), 0);
+  { TraceSpan span("unit.after_reset", "test"); }
+  EXPECT_EQ(Tracer::Global().event_count(), 1u);
+  Tracer::Global().SetMaxEventsPerThread(0);  // Restore: unbounded.
+}
+
+TEST_F(TraceTest, UncappedSessionDropsNothing) {
+  Tracer::Global().SetMaxEventsPerThread(0);
+  for (int i = 0; i < 100; ++i) {
+    TraceSpan span("unit.uncapped", "test");
+  }
+  EXPECT_EQ(Tracer::Global().event_count(), 100u);
+  EXPECT_EQ(Tracer::Global().dropped_events(), 0);
+}
+
+TEST_F(TraceTest, CostAttributionAnnotatesSpans) {
+  Tracer::Global().SetCostAttribution(true);
+  Tracer::Global().Enable();  // Fresh session under attribution.
+  {
+    TraceSpan span("unit.costed", "test");
+    // Deterministic allocation signal: the span must see exactly the
+    // bytes tracked on its own thread during its lifetime.
+    TrackAlloc(AllocCategory::kCheckpoint, 2048);
+    volatile double sink = 0;  // A little CPU so cpu_us is well-defined.
+    for (int i = 0; i < 50000; ++i) sink += i * 0.5;
+  }
+  const auto events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_GE(events[0].cpu_us, 0);
+  EXPECT_EQ(events[0].alloc_bytes, 2048);
+  // The costs render into the event args and the aggregated table.
+  const std::string json = Tracer::Global().ToJson();
+  EXPECT_NE(json.find("\"cpu_us\":"), std::string::npos);
+  EXPECT_NE(json.find("\"alloc_bytes\":2048"), std::string::npos);
+  const std::string table = Tracer::Global().CostTableJson(10);
+  ASSERT_FALSE(table.empty());
+  auto parsed = ParseJson(table);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* by_cpu = parsed->Find("by_cpu");
+  const JsonValue* by_bytes = parsed->Find("by_bytes");
+  ASSERT_NE(by_cpu, nullptr);
+  ASSERT_NE(by_bytes, nullptr);
+  ASSERT_EQ(by_bytes->array_items().size(), 1u);
+  const JsonValue& row = by_bytes->array_items()[0];
+  EXPECT_EQ(row.StringOr("name", ""), "unit.costed");
+  EXPECT_EQ(row.NumberOr("count", -1), 1);
+  EXPECT_EQ(row.NumberOr("alloc_bytes", -1), 2048);
+  Tracer::Global().SetCostAttribution(false);
+}
+
+TEST_F(TraceTest, WithoutAttributionSpansCarryNoCosts) {
+  Tracer::Global().SetCostAttribution(false);
+  { TraceSpan span("unit.uncosted", "test"); }
+  const auto events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].cpu_us, -1);
+  EXPECT_EQ(events[0].alloc_bytes, -1);
+  EXPECT_EQ(Tracer::Global().ToJson().find("\"cpu_us\":"),
+            std::string::npos);
+  EXPECT_TRUE(Tracer::Global().CostTableJson(10).empty());
+}
+
+TEST_F(TraceTest, RecentSpanRingKeepsLastNamesOldestFirst) {
+  Tracer::Global().EnableRecentSpans(3);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span("unit.ring_" + std::to_string(i), "test");
+  }
+  const std::vector<std::string> names = Tracer::Global().RecentSpanNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "unit.ring_2");
+  EXPECT_EQ(names[1], "unit.ring_3");
+  EXPECT_EQ(names[2], "unit.ring_4");
+  Tracer::Global().EnableRecentSpans(0);
+  EXPECT_TRUE(Tracer::Global().RecentSpanNames().empty());
 }
 
 }  // namespace

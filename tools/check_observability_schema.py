@@ -4,6 +4,8 @@
 Usage:
     check_observability_schema.py <trace.json> <metrics.json> <manifest.json>
                                   [telemetry.jsonl]
+    check_observability_schema.py --status <status.json> [more heartbeats...]
+    check_observability_schema.py --manifest <manifest.json>
 
 Validates, with stdlib only:
   * the trace file is Chrome trace-event JSON: a traceEvents array whose
@@ -12,11 +14,17 @@ Validates, with stdlib only:
     keys and structurally sound histograms (20 buckets summing to count);
   * the run manifest has the v1 schema fields, per-cell wall/cpu timings
     for all 12 study cells, data-quality profiles for every non-resumed
-    cell, and an embedded metrics snapshot;
+    cell, an embedded metrics snapshot, and — when present — a well-formed
+    `final_status` heartbeat and `span_costs` cost table;
   * the telemetry file (when given) is mysawh-telemetry v1 JSONL: a header
     line with the stream count, streams in sorted label order, contiguous
     per-stream lines with monotonically increasing rounds, and "features"
-    lines whose name/count/gain arrays align.
+    lines whose name/count/gain arrays align;
+  * with --status: each file is one mysawh-status v1 heartbeat (monotonic
+    seq, nonnegative uptime, resource sample, progress counters, study
+    progress, queue depth, counter deltas, bounded event list), and the
+    sequence numbers strictly increase across the files in argument order
+    (how CI proves it captured distinct mid-run heartbeats).
 
 Exits 0 when everything holds, 1 with a message on the first violation.
 """
@@ -176,7 +184,97 @@ def check_manifest(path):
              f"cells ({sorted(computed)}), got "
              f"{sorted(manifest['data_quality'])}")
     check_metrics_object(manifest["metrics"], f"{path}:metrics")
+    # Optional live-observability blocks (present on monitored / span-cost
+    # runs only, but never malformed).
+    if "final_status" in manifest:
+        check_status_object(manifest["final_status"], f"{path}:final_status")
+        if not manifest["final_status"]["final"]:
+            fail(f"{path}: final_status must be marked final")
+    if "span_costs" in manifest:
+        check_span_costs(manifest["span_costs"], f"{path}:span_costs")
     return len(cells)
+
+
+def check_status_object(status, where):
+    if status.get("schema") != "mysawh-status v1":
+        fail(f"{where}: bad schema field: {status.get('schema')!r}")
+    for key in ("seq", "final", "uptime_ms", "interval_ms",
+                "stall_timeout_ms", "resource", "progress", "study",
+                "queue_depth", "counters_delta", "events"):
+        if key not in status:
+            fail(f"{where}: missing '{key}'")
+    if not isinstance(status["seq"], int) or status["seq"] < 0:
+        fail(f"{where}: seq must be a nonnegative int")
+    if not isinstance(status["final"], bool):
+        fail(f"{where}: final must be a bool")
+    if status["uptime_ms"] < 0:
+        fail(f"{where}: negative uptime_ms")
+    resource = status["resource"]
+    for key in ("rss_bytes", "peak_rss_bytes", "utime_ms", "stime_ms",
+                "minor_faults", "major_faults", "threads", "valid"):
+        if key not in resource:
+            fail(f"{where}: resource missing '{key}'")
+    if not isinstance(resource["valid"], bool):
+        fail(f"{where}: resource.valid must be a bool")
+    if resource["valid"] and resource["rss_bytes"] <= 0:
+        fail(f"{where}: a valid resource sample must report RSS")
+    for name, value in status["progress"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{where}: progress counter {name} must be a "
+                 f"nonnegative int")
+    study = status["study"]
+    for key in ("cells_done", "cells_total"):
+        if key not in study or study[key] < 0:
+            fail(f"{where}: study.{key} must be a nonnegative int")
+    if study["cells_total"] > 0 and study["cells_done"] > study["cells_total"]:
+        fail(f"{where}: study claims more cells done than exist")
+    if status["queue_depth"] < 0:
+        fail(f"{where}: negative queue_depth")
+    for name, delta in status["counters_delta"].items():
+        if not isinstance(delta, int) or delta == 0:
+            fail(f"{where}: counters_delta[{name}] must be a nonzero int")
+    events = status["events"]
+    if not isinstance(events, list) or len(events) > 8:
+        fail(f"{where}: events must be a list of at most 8 entries")
+    for event in events:
+        if event.get("type") != "stall":
+            fail(f"{where}: unknown event type: {event.get('type')!r}")
+        for key in ("at_uptime_ms", "silent_ms", "queue_depth",
+                    "recent_spans"):
+            if key not in event:
+                fail(f"{where}: stall event missing '{key}'")
+        if not isinstance(event["recent_spans"], list):
+            fail(f"{where}: stall recent_spans must be a list")
+    return status["seq"]
+
+
+def check_status_files(paths):
+    last_seq = None
+    for path in paths:
+        with open(path) as f:
+            seq = check_status_object(json.load(f), path)
+        if last_seq is not None and seq <= last_seq:
+            fail(f"{path}: seq {seq} does not advance past {last_seq} — "
+                 f"heartbeats must be distinct and in order")
+        last_seq = seq
+    return len(paths)
+
+
+def check_span_costs(costs, where):
+    for key in ("by_cpu", "by_bytes"):
+        if key not in costs or not isinstance(costs[key], list):
+            fail(f"{where}: span_costs missing '{key}' list")
+        for entry in costs[key]:
+            for field in ("name", "count", "cpu_us", "alloc_bytes"):
+                if field not in entry:
+                    fail(f"{where}: span_costs entry missing '{field}': "
+                         f"{entry}")
+            if entry["count"] <= 0 or entry["cpu_us"] < 0:
+                fail(f"{where}: span_costs entry out of range: {entry}")
+        ranks = [e["cpu_us" if key == "by_cpu" else "alloc_bytes"]
+                 for e in costs[key]]
+        if ranks != sorted(ranks, reverse=True):
+            fail(f"{where}: span_costs.{key} not sorted descending")
 
 
 def check_telemetry(path):
@@ -224,6 +322,14 @@ def check_telemetry(path):
 
 
 def main(argv):
+    if len(argv) >= 3 and argv[1] == "--status":
+        n = check_status_files(argv[2:])
+        print(f"ok: {n} status heartbeats")
+        return 0
+    if len(argv) == 3 and argv[1] == "--manifest":
+        cells = check_manifest(argv[2])
+        print(f"ok: {cells} manifest cells")
+        return 0
     if len(argv) not in (4, 5):
         print(__doc__, file=sys.stderr)
         return 2

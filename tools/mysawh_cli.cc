@@ -36,6 +36,7 @@
 #include "util/flags.h"
 #include "util/json.h"
 #include "util/metrics.h"
+#include "util/monitor.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 #include "util/telemetry.h"
@@ -100,6 +101,13 @@ observability flags (every command):
                         trace JSON (open in https://ui.perfetto.dev); with
                         the flag absent, tracing costs one atomic load per
                         span and outputs are bit-identical
+  --trace-max-events N  cap each thread's trace buffer at N events; events
+                        past the cap are dropped and counted in the
+                        trace.dropped_events counter (0 = unbounded)
+  --span-costs          with --trace-out: every span also records its
+                        thread-CPU-time and tracked-allocation deltas, and
+                        the run manifest gains a "span_costs" top-spans
+                        table (shown by `report`)
   --metrics-out FILE    write the process metrics snapshot (counters,
                         gauges, latency histograms) as deterministic JSON
   --telemetry-out FILE  record per-iteration training telemetry (train
@@ -107,8 +115,18 @@ observability flags (every command):
                         a mysawh-telemetry v1 JSONL artifact; byte-identical
                         for any --threads value, and REPORT.md is unchanged
                         by recording
-  All three artifact paths are probed before the command runs; an
-  unwritable path is a usage error (exit 2).
+  --status-out FILE     run a background monitor that atomically rewrites
+                        FILE with a mysawh-status v1 heartbeat (uptime,
+                        RSS/CPU, progress counters, study cells, queue
+                        depth) while the command executes; tail it live
+                        with tools/watch_status.py FILE
+  --status-interval-ms N  heartbeat period (default 1000)
+  --stall-timeout-ms N  with --status-out: emit a `stall` event (status
+                        stream + trace + monitor.stalls counter) when no
+                        progress counter advances for N ms (0 = off)
+  All artifact paths are probed before the command runs; an unwritable
+  path is a usage error (exit 2). Monitoring never changes results: a
+  monitored run's outputs are bit-identical to an unmonitored one.
 
 exit codes:
   0  success (including explicit `help`)
@@ -534,8 +552,13 @@ Status RunReport(const FlagParser& flags) {
        << "` |\n";
 
     const JsonValue* cells = manifest.Find("cells");
-    if (cells != nullptr && cells->is_object() &&
-        !cells->object_members().empty()) {
+    if (cells == nullptr || !cells->is_object() ||
+        cells->object_members().empty()) {
+      // Manifests from partial or legacy runs may lack blocks; the
+      // dashboard renders what exists instead of refusing the whole file.
+      std::cerr << "warning: " << manifest_path
+                << " has no cell timings; skipping Cell cost\n";
+    } else {
       os << "\n## Cell cost\n\n"
          << "| cell | wall ms | cpu ms | resumed |\n|---|---|---|---|\n";
       double total_wall = 0.0;
@@ -559,8 +582,11 @@ Status RunReport(const FlagParser& flags) {
     }
 
     const JsonValue* quality = manifest.Find("data_quality");
-    if (quality != nullptr && quality->is_object() &&
-        !quality->object_members().empty()) {
+    if (quality == nullptr || !quality->is_object() ||
+        quality->object_members().empty()) {
+      std::cerr << "warning: " << manifest_path
+                << " has no data_quality block; skipping Data quality\n";
+    } else {
       os << "\n## Data quality\n\n"
          << "| cell | train/test rows | outcome | max missingness "
          << "| max drift | bin occupancy |\n|---|---|---|---|---|---|\n";
@@ -591,14 +617,83 @@ Status RunReport(const FlagParser& flags) {
            << Pct(cell.NumberOr("mean_bin_occupancy", 0)) << " |\n";
       }
     }
+
+    // Latency percentiles, re-derived from the snapshot's power-of-two
+    // buckets with the same helper the live registry uses.
+    const JsonValue* metrics = manifest.Find("metrics");
+    const JsonValue* histograms =
+        metrics != nullptr ? metrics->Find("histograms") : nullptr;
+    if (histograms != nullptr && histograms->is_object() &&
+        !histograms->object_members().empty()) {
+      os << "\n## Latency percentiles\n\n"
+         << "| histogram | count | p50 us | p90 us | p99 us | max us |\n"
+         << "|---|---|---|---|---|---|\n";
+      for (const auto& [name, histogram] : histograms->object_members()) {
+        const double count = histogram.NumberOr("count", 0);
+        if (count <= 0) continue;
+        std::vector<int64_t> buckets;
+        const JsonValue* bucket_array = histogram.Find("buckets");
+        if (bucket_array != nullptr && bucket_array->is_array()) {
+          for (const JsonValue& b : bucket_array->array_items()) {
+            buckets.push_back(static_cast<int64_t>(b.number_value()));
+          }
+        }
+        if (buckets.empty()) continue;
+        const auto max_us =
+            static_cast<int64_t>(histogram.NumberOr("max_us", 0));
+        const auto quantile = [&](double q) {
+          return HistogramQuantileFromBuckets(
+              buckets.data(), static_cast<int>(buckets.size()), max_us, q);
+        };
+        os << "| " << name << " | " << FormatDouble(count, 0) << " | "
+           << quantile(0.50) << " | " << quantile(0.90) << " | "
+           << quantile(0.99) << " | " << max_us << " |\n";
+      }
+    }
+
+    // Per-span cost attribution (runs traced with --span-costs).
+    const JsonValue* span_costs = manifest.Find("span_costs");
+    if (span_costs != nullptr && span_costs->is_object()) {
+      const struct {
+        const char* key;
+        const char* title;
+      } rankings[] = {{"by_cpu", "by CPU"}, {"by_bytes", "by allocation"}};
+      for (const auto& ranking : rankings) {
+        const JsonValue* list = span_costs->Find(ranking.key);
+        if (list == nullptr || !list->is_array() ||
+            list->array_items().empty()) {
+          continue;
+        }
+        os << "\n## Top spans " << ranking.title << "\n\n"
+           << "| span | count | cpu ms | alloc bytes |\n|---|---|---|---|\n";
+        for (const JsonValue& span : list->array_items()) {
+          os << "| " << span.StringOr("name", "?") << " | "
+             << FormatDouble(span.NumberOr("count", 0), 0) << " | "
+             << FormatDouble(span.NumberOr("cpu_us", 0) / 1000.0, 2) << " | "
+             << FormatDouble(span.NumberOr("alloc_bytes", 0), 0) << " |\n";
+        }
+      }
+    }
   }
 
   if (!telemetry_path.empty()) {
-    MYSAWH_ASSIGN_OR_RETURN(std::vector<StreamSummary> summaries,
-                            LoadTelemetrySummaries(telemetry_path));
-    os << "\n## Learning curves\n\n"
-       << "| stream | metric | rounds | first | last | curve |\n"
-       << "|---|---|---|---|---|---|\n";
+    auto summaries_or = LoadTelemetrySummaries(telemetry_path);
+    if (!summaries_or.ok()) {
+      // With a manifest already rendered, a broken telemetry sidecar
+      // degrades to a warning — the dashboard still carries the rest.
+      // Telemetry as the *only* input stays a hard error.
+      if (manifest_path.empty()) return summaries_or.status();
+      std::cerr << "warning: skipping telemetry: "
+                << summaries_or.status().message() << "\n";
+    }
+    const std::vector<StreamSummary> summaries =
+        summaries_or.ok() ? std::move(summaries_or).value()
+                          : std::vector<StreamSummary>{};
+    if (!summaries.empty()) {
+      os << "\n## Learning curves\n\n"
+         << "| stream | metric | rounds | first | last | curve |\n"
+         << "|---|---|---|---|---|---|\n";
+    }
     for (const StreamSummary& summary : summaries) {
       double first = std::numeric_limits<double>::quiet_NaN();
       double last = std::numeric_limits<double>::quiet_NaN();
@@ -635,6 +730,7 @@ int Main(int argc, const char* const* argv) {
   const std::string trace_out = flags.GetString("trace-out");
   const std::string metrics_out = flags.GetString("metrics-out");
   const std::string telemetry_out = flags.GetString("telemetry-out");
+  const std::string status_out = flags.GetString("status-out");
   // Probe every artifact path up front: an unwritable destination is a
   // usage error the user should see before a long run, not after it.
   const struct {
@@ -642,7 +738,8 @@ int Main(int argc, const char* const* argv) {
     const std::string& path;
   } artifact_flags[] = {{"--trace-out", trace_out},
                         {"--metrics-out", metrics_out},
-                        {"--telemetry-out", telemetry_out}};
+                        {"--telemetry-out", telemetry_out},
+                        {"--status-out", status_out}};
   for (const auto& artifact : artifact_flags) {
     if (artifact.path.empty()) continue;
     const Status writable = CheckWritable(artifact.path);
@@ -652,8 +749,43 @@ int Main(int argc, const char* const* argv) {
       return 2;
     }
   }
-  if (!trace_out.empty()) Tracer::Global().Enable();
+  const bool span_costs = flags.GetBool("span-costs", false);
+  if (span_costs && trace_out.empty()) {
+    std::cerr << "error: --span-costs requires --trace-out\n";
+    return 2;
+  }
+  auto trace_max_events_or = flags.GetInt("trace-max-events", 0);
+  auto status_interval_or = flags.GetInt("status-interval-ms", 1000);
+  auto stall_timeout_or = flags.GetInt("stall-timeout-ms", 0);
+  if (!trace_max_events_or.ok() || !status_interval_or.ok() ||
+      !stall_timeout_or.ok()) {
+    std::cerr << "error: malformed observability flag value\n" << kUsage;
+    return 2;
+  }
+  if (*stall_timeout_or > 0 && status_out.empty()) {
+    std::cerr << "error: --stall-timeout-ms requires --status-out\n";
+    return 2;
+  }
+  if (!trace_out.empty()) {
+    Tracer::Global().SetMaxEventsPerThread(
+        static_cast<size_t>(std::max<int64_t>(0, *trace_max_events_or)));
+    Tracer::Global().SetCostAttribution(span_costs);
+    Tracer::Global().Enable();
+  }
   if (!telemetry_out.empty()) Telemetry::Global().Enable();
+  std::unique_ptr<Monitor> monitor;
+  if (!status_out.empty()) {
+    MonitorOptions options;
+    options.status_path = status_out;
+    options.interval_ms = std::max<int64_t>(1, *status_interval_or);
+    options.stall_timeout_ms = std::max<int64_t>(0, *stall_timeout_or);
+    monitor = std::make_unique<Monitor>(options);
+    const Status started = monitor->Start();
+    if (!started.ok()) {
+      std::cerr << "error: --status-out: " << started.message() << "\n";
+      return 2;
+    }
+  }
   Status status;
   {
     TraceSpan command_span;
@@ -683,6 +815,13 @@ int Main(int argc, const char* const* argv) {
       std::cerr << "unknown command: " << flags.command() << "\n" << kUsage;
       return 2;
     }
+  }
+  if (monitor != nullptr) {
+    // Stop before the artifact writes so the final heartbeat (and the
+    // metrics snapshot below) reflect the completed command.
+    monitor->Stop();
+    std::cout << "wrote " << monitor->heartbeats_written()
+              << " status heartbeats to " << status_out << "\n";
   }
   if (!metrics_out.empty()) {
     const Status written = WriteFileAtomic(
