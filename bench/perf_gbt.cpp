@@ -9,6 +9,8 @@
 #include <cstdio>
 
 #include "bench/perf_json_main.h"
+#include "core/audit_log.h"
+#include "core/drift_monitor.h"
 #include "data/dataset.h"
 #include "gbt/binning.h"
 #include "gbt/gbt_model.h"
@@ -22,6 +24,12 @@ namespace {
 
 using mysawh::Counter;
 using mysawh::Dataset;
+using mysawh::core::AuditLog;
+using mysawh::core::AuditOptions;
+using mysawh::core::BuildDriftBaseline;
+using mysawh::core::DriftBaseline;
+using mysawh::core::DriftMonitorOptions;
+using mysawh::core::DriftMonitorRuntime;
 using mysawh::MetricsRegistry;
 using mysawh::Rng;
 using mysawh::Tracer;
@@ -255,6 +263,55 @@ void BM_PredictBatchRef(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictBatchRef)->Arg(20)->Arg(100)->Arg(300)
     ->Unit(benchmark::kMillisecond);
+
+/// Overhead twin of BM_PredictBatch/300: the same batch predict with the
+/// audit log armed at the default 1-in-16 sampling. Reconfiguring per
+/// iteration clears the record buffer so memory stays bounded; the delta
+/// over BM_PredictBatch is the audit overhead budget (<= 1%) gated by
+/// tools/bench_diff.py.
+void BM_AuditLog(benchmark::State& state) {
+  const Dataset train = MakeData(2000, 32, 3);
+  GbtParams params = BenchParams(TreeMethod::kHist);
+  params.num_trees = static_cast<int>(state.range(0));
+  const GbtModel model = GbtModel::Train(train, params).value();
+  const Dataset test = MakeData(1000, 32, 4);
+  AuditOptions options;
+  options.sample_rate = 16;
+  for (auto _ : state) {
+    (void)AuditLog::Global().Configure(options);
+    auto preds = model.Predict(test);
+    benchmark::DoNotOptimize(preds);
+  }
+  AuditLog::Global().Disable();
+  state.SetItemsProcessed(state.iterations() * test.num_rows());
+}
+BENCHMARK(BM_AuditLog)->Arg(300)->Unit(benchmark::kMillisecond);
+
+/// Overhead twin of BM_PredictBatch/300 with the drift monitor armed at
+/// the CLI-default 1-in-16 row sampling: every predicted batch streams
+/// through the monitor, which scores 256-row windows of sampled rows
+/// against a training-time baseline. Configured once so the loop measures
+/// the steady-state monitored predict (the criterion's scenario).
+void BM_DriftMonitor(benchmark::State& state) {
+  const Dataset train = MakeData(2000, 32, 3);
+  GbtParams params = BenchParams(TreeMethod::kHist);
+  params.num_trees = static_cast<int>(state.range(0));
+  const GbtModel model = GbtModel::Train(train, params).value();
+  const Dataset test = MakeData(1000, 32, 4);
+  const DriftBaseline baseline =
+      BuildDriftBaseline(train, model.Predict(train).value(), 10).value();
+  DriftMonitorOptions options;
+  options.window = 256;
+  options.sample_rate = 16;
+  (void)DriftMonitorRuntime::Global().Configure(baseline, options);
+  for (auto _ : state) {
+    auto preds = model.Predict(test);
+    benchmark::DoNotOptimize(preds);
+  }
+  DriftMonitorRuntime::Global().Flush();
+  state.SetItemsProcessed(state.iterations() * test.num_rows());
+}
+BENCHMARK(BM_DriftMonitor)->Arg(300)->Unit(benchmark::kMillisecond);
 
 void BM_Serialize(benchmark::State& state) {
   const Dataset train = MakeData(2000, 32, 5);

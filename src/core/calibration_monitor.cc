@@ -1,0 +1,158 @@
+#include "core/calibration_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/metrics.h"
+#include "util/telemetry.h"
+
+namespace mysawh::core {
+namespace {
+
+/// Unit-interval score -> integer parts-per-million for int64 gauges.
+int64_t Ppm(double value) {
+  if (std::isnan(value)) return -1;
+  return static_cast<int64_t>(std::llround(value * 1e6));
+}
+
+}  // namespace
+
+Result<CalibrationReport> ComputeCalibration(const std::vector<double>& labels,
+                                             const std::vector<double>& preds,
+                                             int num_bins) {
+  if (labels.size() != preds.size()) {
+    return Status::InvalidArgument(
+        "ComputeCalibration: " + std::to_string(labels.size()) +
+        " labels vs " + std::to_string(preds.size()) + " predictions");
+  }
+  std::vector<double> usable_labels;
+  std::vector<double> usable_preds;
+  usable_labels.reserve(labels.size());
+  usable_preds.reserve(preds.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (std::isnan(labels[i]) || std::isnan(preds[i])) continue;
+    usable_labels.push_back(labels[i]);
+    usable_preds.push_back(preds[i]);
+  }
+  if (usable_labels.empty()) {
+    return Status::InvalidArgument("ComputeCalibration: no usable rows");
+  }
+  CalibrationReport report;
+  report.rows = static_cast<int64_t>(usable_labels.size());
+  report.num_bins = num_bins;
+  MYSAWH_ASSIGN_OR_RETURN(report.brier,
+                          BrierScore(usable_labels, usable_preds));
+  MYSAWH_ASSIGN_OR_RETURN(
+      report.bins,
+      ComputeCalibrationBins(usable_labels, usable_preds, num_bins));
+  double ece_sum = 0.0;
+  for (const CalibrationBin& bin : report.bins) {
+    ece_sum += static_cast<double>(bin.count) *
+               std::fabs(bin.mean_predicted - bin.observed_rate);
+  }
+  report.ece = ece_sum / static_cast<double>(report.rows);
+  return report;
+}
+
+Result<ErrorQuantiles> ComputeErrorQuantiles(const std::vector<double>& labels,
+                                             const std::vector<double>& preds) {
+  if (labels.size() != preds.size()) {
+    return Status::InvalidArgument(
+        "ComputeErrorQuantiles: " + std::to_string(labels.size()) +
+        " labels vs " + std::to_string(preds.size()) + " predictions");
+  }
+  std::vector<double> errors;
+  errors.reserve(labels.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (std::isnan(labels[i]) || std::isnan(preds[i])) continue;
+    const double err = std::fabs(labels[i] - preds[i]);
+    errors.push_back(err);
+    sum += err;
+  }
+  if (errors.empty()) {
+    return Status::InvalidArgument("ComputeErrorQuantiles: no usable rows");
+  }
+  std::sort(errors.begin(), errors.end());
+  ErrorQuantiles out;
+  out.rows = static_cast<int64_t>(errors.size());
+  out.mae = sum / static_cast<double>(errors.size());
+  const auto at_quantile = [&](double q) {
+    // rank = ceil(q * n), 1-based: the smallest error with at least a q
+    // fraction of the mass at or below it.
+    const auto n = static_cast<double>(errors.size());
+    auto rank = static_cast<size_t>(std::ceil(q * n));
+    if (rank < 1) rank = 1;
+    if (rank > errors.size()) rank = errors.size();
+    return errors[rank - 1];
+  };
+  out.p50 = at_quantile(0.50);
+  out.p90 = at_quantile(0.90);
+  out.p99 = at_quantile(0.99);
+  out.max_err = errors.back();
+  return out;
+}
+
+std::string CalibrationJson(const CalibrationReport& report) {
+  std::string out = "{\"kind\":\"classification\",\"rows\":";
+  out += std::to_string(report.rows);
+  out += ",\"num_bins\":";
+  out += std::to_string(report.num_bins);
+  out += ",\"brier\":";
+  out += TelemetryDouble(report.brier);
+  out += ",\"ece\":";
+  out += TelemetryDouble(report.ece);
+  out += ",\"bins\":[";
+  for (size_t b = 0; b < report.bins.size(); ++b) {
+    if (b > 0) out += ',';
+    const CalibrationBin& bin = report.bins[b];
+    out += "{\"count\":";
+    out += std::to_string(bin.count);
+    out += ",\"mean_pred\":";
+    out += TelemetryDouble(bin.mean_predicted);
+    out += ",\"mean_obs\":";
+    out += TelemetryDouble(bin.observed_rate);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ErrorQuantilesJson(const ErrorQuantiles& quantiles) {
+  std::string out = "{\"kind\":\"regression\",\"rows\":";
+  out += std::to_string(quantiles.rows);
+  out += ",\"mae\":";
+  out += TelemetryDouble(quantiles.mae);
+  out += ",\"p50\":";
+  out += TelemetryDouble(quantiles.p50);
+  out += ",\"p90\":";
+  out += TelemetryDouble(quantiles.p90);
+  out += ",\"p99\":";
+  out += TelemetryDouble(quantiles.p99);
+  out += ",\"max\":";
+  out += TelemetryDouble(quantiles.max_err);
+  out += '}';
+  return out;
+}
+
+void PublishCalibrationGauges(const std::string& label,
+                              const CalibrationReport& report) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("calibration." + label + ".ece_ppm")->Set(Ppm(report.ece));
+  registry.GetGauge("calibration." + label + ".brier_ppm")
+      ->Set(Ppm(report.brier));
+  registry.GetGauge("calibration." + label + ".rows")->Set(report.rows);
+}
+
+void PublishErrorQuantileGauges(const std::string& label,
+                                const ErrorQuantiles& quantiles) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("calibration." + label + ".mae_ppm")
+      ->Set(Ppm(quantiles.mae));
+  registry.GetGauge("calibration." + label + ".p90_ppm")
+      ->Set(Ppm(quantiles.p90));
+  registry.GetGauge("calibration." + label + ".rows")->Set(quantiles.rows);
+}
+
+}  // namespace mysawh::core

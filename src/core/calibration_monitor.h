@@ -1,0 +1,76 @@
+#ifndef MYSAWH_CORE_CALIBRATION_MONITOR_H_
+#define MYSAWH_CORE_CALIBRATION_MONITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "util/status.h"
+
+namespace mysawh::core {
+
+/// Calibration tracking for the model-quality observability layer (see
+/// docs/observability.md), layered on the core/metrics.h primitives
+/// (`CalibrationBin`, `ComputeCalibrationBins`, `BrierScore`): reliability
+/// bins + Brier + ECE for the Falls classifier, MAE quantiles for the
+/// regression outcomes (SPPB/QoL). All statistics are pure functions of
+/// (labels, predictions) — byte-identical JSON for identical inputs — and
+/// are surfaced through ppm-scaled registry gauges plus the run
+/// manifest's `calibration` block. Never written into REPORT.md, so
+/// reports stay bit-identical with or without calibration tracking.
+
+/// Reliability diagram + scalar calibration scores for a binary
+/// classifier. `bins` holds the non-empty equal-width bins in bin order
+/// (as ComputeCalibrationBins returns them); ECE is the count-weighted
+/// mean |mean_predicted - observed_rate| over those bins.
+struct CalibrationReport {
+  int64_t rows = 0;  ///< Rows scored (NaN labels/predictions skipped).
+  int num_bins = 10;
+  double brier = 0.0;
+  double ece = 0.0;
+  std::vector<CalibrationBin> bins;
+};
+
+/// Computes the reliability table, Brier, and ECE. Rows where either side
+/// is NaN are skipped before delegating to the metrics primitives, which
+/// enforce 0/1 labels and [0, 1] probabilities. Fails on size mismatch,
+/// num_bins < 1, or zero usable rows.
+Result<CalibrationReport> ComputeCalibration(const std::vector<double>& labels,
+                                             const std::vector<double>& preds,
+                                             int num_bins = 10);
+
+/// Absolute-error quantiles for regression outcomes. Quantile rank is
+/// ceil(q * n), 1-based, over the sorted |label - prediction| values —
+/// p50/p90/p99 are therefore exact order statistics, not interpolated.
+struct ErrorQuantiles {
+  int64_t rows = 0;
+  double mae = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max_err = 0.0;
+};
+
+/// Computes MAE and the p50/p90/p99/max absolute-error quantiles. Rows
+/// where either side is NaN are skipped; fails on size mismatch or zero
+/// usable rows.
+Result<ErrorQuantiles> ComputeErrorQuantiles(const std::vector<double>& labels,
+                                             const std::vector<double>& preds);
+
+/// Deterministic JSON objects (no trailing newline) for the manifest's
+/// `calibration` block. Doubles use round-trip-exact shortest form.
+std::string CalibrationJson(const CalibrationReport& report);
+std::string ErrorQuantilesJson(const ErrorQuantiles& quantiles);
+
+/// Publishes a report as registry gauges under
+/// `calibration.<label>.{ece_ppm,brier_ppm,rows}` — gauges are int64, so
+/// the unit-interval scores are scaled to parts-per-million.
+void PublishCalibrationGauges(const std::string& label,
+                              const CalibrationReport& report);
+/// Publishes quantiles as `calibration.<label>.{mae_ppm,p90_ppm,rows}`.
+void PublishErrorQuantileGauges(const std::string& label,
+                                const ErrorQuantiles& quantiles);
+
+}  // namespace mysawh::core
+
+#endif  // MYSAWH_CORE_CALIBRATION_MONITOR_H_

@@ -86,6 +86,22 @@ std::string BuildRunManifestJson(const StudyConfig& config,
        << "\":" << DataQualityJson(profile);
   }
   os << "},";
+  os << "\"drift\":{";
+  first = true;
+  for (const auto& [key, json] : result.drift_jsons) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(StudyCellName(key)) << "\":" << json;
+  }
+  os << "},";
+  os << "\"calibration\":{";
+  first = true;
+  for (const auto& [key, json] : result.calibration_jsons) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(StudyCellName(key)) << "\":" << json;
+  }
+  os << "},";
   os << "\"metrics\":" << MetricsRegistry::Global().SnapshotJson();
   // Optional live-observability blocks: the study's closing heartbeat when
   // a monitor is running, and the per-span cost table when this run traced

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cohort/simulator.h"
+#include "core/calibration_monitor.h"
 #include "core/checkpoint.h"
 #include "util/failpoint.h"
 #include "util/metrics.h"
@@ -294,6 +295,44 @@ Result<StudyResult> RunFullStudy(const StudyConfig& config) {
           DataQualityProfile profile,
           ProfilePartition(cell.train, cell.test, cell.is_classification));
       study.profiles.emplace(key, std::move(profile));
+    }
+  }
+  // Model-quality post-pass: per cell, drift of the test partition against
+  // a train-time baseline, plus calibration (Falls) or error quantiles
+  // (regression) of the test predictions. Serial, pure functions of the
+  // already-trained models and partitions — like the profiles above, it
+  // feeds only the manifest (and gauges), never REPORT.md.
+  {
+    TraceSpan quality_span("study.model_quality", "study");
+    for (auto& [key, cell] : study.cells) {
+      if (cell.train.num_rows() == 0 || cell.test.num_rows() == 0) continue;
+      if (cell.model == nullptr) continue;
+      MYSAWH_ASSIGN_OR_RETURN(std::vector<double> train_preds,
+                              cell.model->PredictBatch(cell.train));
+      MYSAWH_ASSIGN_OR_RETURN(std::vector<double> test_preds,
+                              cell.model->PredictBatch(cell.test));
+      MYSAWH_ASSIGN_OR_RETURN(
+          DriftBaseline baseline,
+          BuildDriftBaseline(cell.train, train_preds, config.drift_bins));
+      MYSAWH_ASSIGN_OR_RETURN(
+          DriftReport drift,
+          EvaluateDrift(baseline, cell.test, test_preds,
+                        config.drift_thresholds));
+      study.drift_jsons.emplace(key, DriftReportJson(drift));
+      const std::string cell_name = StudyCellName(key);
+      const std::vector<double>& labels = cell.test.labels();
+      if (cell.is_classification) {
+        MYSAWH_ASSIGN_OR_RETURN(
+            CalibrationReport calibration,
+            ComputeCalibration(labels, test_preds, config.calibration_bins));
+        PublishCalibrationGauges(cell_name, calibration);
+        study.calibration_jsons.emplace(key, CalibrationJson(calibration));
+      } else {
+        MYSAWH_ASSIGN_OR_RETURN(ErrorQuantiles quantiles,
+                                ComputeErrorQuantiles(labels, test_preds));
+        PublishErrorQuantileGauges(cell_name, quantiles);
+        study.calibration_jsons.emplace(key, ErrorQuantilesJson(quantiles));
+      }
     }
   }
   return study;

@@ -6,6 +6,7 @@
 
 #include "cohort/cohort.h"
 #include "core/data_profile.h"
+#include "core/drift_monitor.h"
 #include "core/evaluation.h"
 #include "core/sample_builder.h"
 #include "util/status.h"
@@ -33,6 +34,14 @@ struct StudyConfig {
   /// re-written). A resumed study's ToMarkdown() output is bit-identical
   /// to an uninterrupted run's.
   bool resume = false;
+  /// Alert thresholds of the per-cell drift post-pass (train baseline vs
+  /// test window; see core/drift_monitor.h). Like the data-quality
+  /// profiles, the post-pass only feeds the manifest — never REPORT.md.
+  DriftThresholds drift_thresholds;
+  /// Equal-frequency bins of the drift baselines.
+  int drift_bins = 10;
+  /// Reliability bins of the calibration post-pass (Falls cells).
+  int calibration_bins = 10;
 };
 
 /// Canonical fingerprint of the configuration fields that determine cell
@@ -80,6 +89,13 @@ struct StudyResult {
   /// Surfaced through the run manifest's `data_quality` block; ToMarkdown()
   /// never reads it, so REPORT.md is unaffected by profiling.
   std::map<StudyCellKey, DataQualityProfile> profiles;
+  /// Per-cell drift report (train baseline vs test partition), rendered
+  /// JSON, keyed like `cells`; the manifest's `drift` block. Resumed
+  /// cells carry no partitions and so have no entry.
+  std::map<StudyCellKey, std::string> drift_jsons;
+  /// Per-cell calibration (Falls: reliability/Brier/ECE; regression: MAE
+  /// quantiles), rendered JSON; the manifest's `calibration` block.
+  std::map<StudyCellKey, std::string> calibration_jsons;
   int64_t total_candidates = 0;
   int64_t retained = 0;
   GapStats gap_stats;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/audit_log.h"
 #include "gbt/flat_forest.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -600,15 +601,20 @@ Result<std::vector<std::vector<double>>> TreeShap::ShapBatch(
                      phi.data());
       out[static_cast<size_t>(r)] = std::move(phi);
     });
-    return out;
+  } else {
+    workers.ParallelFor(data.num_rows(), [&](int64_t r) {
+      std::vector<PathElement> workspace(workspace_size);
+      std::vector<double> phi(m, 0.0);
+      FlatShapRow(*flat, bins.data() + static_cast<size_t>(r) * m,
+                  workspace.data(), phi.data());
+      out[static_cast<size_t>(r)] = std::move(phi);
+    });
   }
-  workers.ParallelFor(data.num_rows(), [&](int64_t r) {
-    std::vector<PathElement> workspace(workspace_size);
-    std::vector<double> phi(m, 0.0);
-    FlatShapRow(*flat, bins.data() + static_cast<size_t>(r) * m,
-                workspace.data(), phi.data());
-    out[static_cast<size_t>(r)] = std::move(phi);
-  });
+  // Audit hook: on the calling thread after the parallel loop, so
+  // recording can never perturb the attributions it logs.
+  if (core::AuditEnabled()) {
+    core::AuditLog::Global().RecordShapBatch(model_->fingerprint(), data, out);
+  }
   return out;
 }
 
@@ -631,6 +637,9 @@ Result<std::vector<std::vector<double>>> TreeShap::ShapBatchReference(
   workers.ParallelFor(data.num_rows(), [&](int64_t r) {
     out[static_cast<size_t>(r)] = Shap(data.row(r));
   });
+  if (core::AuditEnabled()) {
+    core::AuditLog::Global().RecordShapBatch(model_->fingerprint(), data, out);
+  }
   return out;
 }
 

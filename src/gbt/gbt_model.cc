@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/audit_log.h"
+#include "core/drift_monitor.h"
 #include "gbt/trainer.h"
 #include "util/metrics.h"
 #include "util/serialization.h"
@@ -22,6 +24,11 @@ Result<GbtModel> GbtModel::Train(const Dataset& train, const GbtParams& params,
 }
 
 void GbtModel::CompileFlat() {
+  // Fingerprint the canonical serialized form once per (re)compile — the
+  // only times the forest can change — so the audit hooks below never
+  // hash on the prediction path.
+  const std::string serialized = Serialize();
+  fingerprint_ = core::HashBytes(serialized.data(), serialized.size());
   flat_.reset();
   Result<FlatForest> compiled = FlatForest::Compile(trees_, num_features());
   if (compiled.ok()) {
@@ -102,6 +109,15 @@ Result<std::vector<double>> GbtModel::Predict(const Dataset& data) const {
   DefaultPool().ParallelFor(static_cast<int64_t>(raw.size()), [&](int64_t i) {
     raw[static_cast<size_t>(i)] = objective->Transform(raw[static_cast<size_t>(i)]);
   });
+  // Model-quality observability hooks: one relaxed load each when
+  // disarmed, and always on the calling thread after the parallel loops,
+  // so observation can never change what was computed.
+  if (core::AuditEnabled()) {
+    core::AuditLog::Global().RecordPredictBatch(fingerprint_, data, raw);
+  }
+  if (core::DriftMonitoringEnabled()) {
+    core::DriftMonitorRuntime::Global().ObserveBatch(data, raw);
+  }
   return raw;
 }
 

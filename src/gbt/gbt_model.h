@@ -99,6 +99,11 @@ class GbtModel : public model::Model {
   /// counts `gbt.predict.flat_compile_fallbacks`.
   void CompileFlat();
 
+  /// FNV-1a fingerprint of Serialize(), computed by CompileFlat (i.e. by
+  /// Train and Deserialize). Names the exact model in every audit-log
+  /// record (core/audit_log.h); 0 only for a default-constructed model.
+  uint64_t fingerprint() const { return fingerprint_; }
+
   const std::vector<RegressionTree>& trees() const { return trees_; }
   const std::vector<std::string>& feature_names() const {
     return feature_names_;
@@ -136,6 +141,7 @@ class GbtModel : public model::Model {
   ObjectiveType objective_type_ = ObjectiveType::kSquaredError;
   double base_score_ = 0.0;
   int best_iteration_ = -1;
+  uint64_t fingerprint_ = 0;
   // Compiled inference form; shared so copies of a model reuse one block.
   // Not serialized: Serialize() stays byte-stable across this optimization
   // and Deserialize recompiles.

@@ -197,6 +197,14 @@ void Monitor::CheckStall(int64_t uptime_ms) {
   }
 }
 
+void Monitor::AppendEvent(std::string event_json) {
+  std::lock_guard<std::mutex> lock(tick_mutex_);
+  event_jsons_.push_back(std::move(event_json));
+  if (event_jsons_.size() > kMaxEvents) {
+    event_jsons_.erase(event_jsons_.begin());
+  }
+}
+
 std::string Monitor::BuildHeartbeatJson(bool final_heartbeat) {
   std::lock_guard<std::mutex> lock(tick_mutex_);
   auto& registry = MetricsRegistry::Global();

@@ -84,6 +84,11 @@ class Monitor {
   /// The constructor installs the standard set; tests add their own.
   void RegisterProgressCounter(const std::string& name);
 
+  /// Appends one pre-rendered event object (e.g. a model-quality `drift`
+  /// alert, see core/drift_monitor.h) to the heartbeat's bounded event
+  /// ring. Thread-safe; the event rides out on the next heartbeat.
+  void AppendEvent(std::string event_json);
+
   int64_t heartbeats_written() const {
     return heartbeats_.load(std::memory_order_relaxed);
   }

@@ -1,0 +1,131 @@
+#include "core/calibration_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace mysawh::core {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(CalibrationTest, HandComputedReliabilityTable) {
+  // Two occupied bins of the 10-bin grid:
+  //   [0.0, 0.1): 4 rows at p=0.05, 1 positive  -> observed 0.25
+  //   [0.8, 0.9): 2 rows at p=0.85, 2 positives -> observed 1.0
+  const std::vector<double> labels = {1, 0, 0, 0, 1, 1};
+  const std::vector<double> preds = {0.05, 0.05, 0.05, 0.05, 0.85, 0.85};
+  const CalibrationReport report =
+      ComputeCalibration(labels, preds, 10).value();
+  EXPECT_EQ(report.rows, 6);
+  ASSERT_EQ(report.bins.size(), 2u);
+  EXPECT_EQ(report.bins[0].count, 4);
+  EXPECT_NEAR(report.bins[0].mean_predicted, 0.05, 1e-12);
+  EXPECT_NEAR(report.bins[0].observed_rate, 0.25, 1e-12);
+  EXPECT_EQ(report.bins[1].count, 2);
+  EXPECT_NEAR(report.bins[1].observed_rate, 1.0, 1e-12);
+  // ECE = (4*|0.05-0.25| + 2*|0.85-1.0|) / 6.
+  EXPECT_NEAR(report.ece, (4 * 0.2 + 2 * 0.15) / 6.0, 1e-12);
+  // Brier = ((0.05-1)^2 + 3*0.05^2 + 2*(0.85-1)^2) / 6.
+  EXPECT_NEAR(report.brier, (0.9025 + 3 * 0.0025 + 2 * 0.0225) / 6.0, 1e-12);
+}
+
+TEST(CalibrationTest, PerfectCalibrationScoresZeroEce) {
+  // Each bin's mean prediction equals its observed rate exactly.
+  const std::vector<double> labels = {0, 1, 0, 1};
+  const std::vector<double> preds = {0.5, 0.5, 0.5, 0.5};
+  const CalibrationReport report =
+      ComputeCalibration(labels, preds, 10).value();
+  EXPECT_NEAR(report.ece, 0.0, 1e-12);
+  EXPECT_NEAR(report.brier, 0.25, 1e-12);
+}
+
+TEST(CalibrationTest, NanRowsAreSkipped) {
+  const std::vector<double> labels = {1, 0, kNaN, 1};
+  const std::vector<double> preds = {0.9, 0.1, 0.5, kNaN};
+  const CalibrationReport report =
+      ComputeCalibration(labels, preds, 10).value();
+  EXPECT_EQ(report.rows, 2);
+  const CalibrationReport clean =
+      ComputeCalibration({1, 0}, {0.9, 0.1}, 10).value();
+  EXPECT_EQ(CalibrationJson(report), CalibrationJson(clean));
+}
+
+TEST(CalibrationTest, Validation) {
+  EXPECT_FALSE(ComputeCalibration({1}, {0.5, 0.5}, 10).ok());
+  EXPECT_FALSE(ComputeCalibration({}, {}, 10).ok());
+  EXPECT_FALSE(ComputeCalibration({kNaN}, {0.5}, 10).ok());
+  // The metrics primitives enforce 0/1 labels and [0, 1] probabilities.
+  EXPECT_FALSE(ComputeCalibration({0.5}, {0.5}, 10).ok());
+  EXPECT_FALSE(ComputeCalibration({1}, {1.5}, 10).ok());
+}
+
+TEST(ErrorQuantilesTest, ExactOrderStatisticsOverOneToHundred) {
+  std::vector<double> labels;
+  for (int i = 1; i <= 100; ++i) labels.push_back(i);
+  const std::vector<double> preds(100, 0.0);
+  const ErrorQuantiles q = ComputeErrorQuantiles(labels, preds).value();
+  EXPECT_EQ(q.rows, 100);
+  EXPECT_NEAR(q.mae, 50.5, 1e-12);
+  // rank = ceil(q * 100), 1-based: exact order statistics.
+  EXPECT_EQ(q.p50, 50.0);
+  EXPECT_EQ(q.p90, 90.0);
+  EXPECT_EQ(q.p99, 99.0);
+  EXPECT_EQ(q.max_err, 100.0);
+}
+
+TEST(ErrorQuantilesTest, SingleRowAndNanSkipping) {
+  const ErrorQuantiles q =
+      ComputeErrorQuantiles({3.0, kNaN}, {1.0, 5.0}).value();
+  EXPECT_EQ(q.rows, 1);
+  EXPECT_EQ(q.p50, 2.0);
+  EXPECT_EQ(q.p99, 2.0);
+  EXPECT_EQ(q.max_err, 2.0);
+  EXPECT_FALSE(ComputeErrorQuantiles({kNaN}, {1.0}).ok());
+  EXPECT_FALSE(ComputeErrorQuantiles({1.0}, {1.0, 2.0}).ok());
+}
+
+TEST(CalibrationJsonTest, DeterministicShapes) {
+  const CalibrationReport report =
+      ComputeCalibration({1, 0}, {0.75, 0.25}, 4).value();
+  const std::string json = CalibrationJson(report);
+  EXPECT_NE(json.find("\"kind\":\"classification\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"bins\":["), std::string::npos);
+  EXPECT_EQ(json, CalibrationJson(report)) << "rendering must be stable";
+
+  const ErrorQuantiles q = ComputeErrorQuantiles({2.0}, {1.0}).value();
+  const std::string qjson = ErrorQuantilesJson(q);
+  EXPECT_NE(qjson.find("\"kind\":\"regression\""), std::string::npos);
+  EXPECT_NE(qjson.find("\"p99\":1"), std::string::npos);
+}
+
+TEST(CalibrationGaugesTest, PublishesPpmScaledValues) {
+  const CalibrationReport report =
+      ComputeCalibration({1, 0, 0, 0, 1, 1},
+                         {0.05, 0.05, 0.05, 0.05, 0.85, 0.85}, 10)
+          .value();
+  PublishCalibrationGauges("unit", report);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetGauge("calibration.unit.ece_ppm")->Value(),
+            std::llround(report.ece * 1e6));
+  EXPECT_EQ(registry.GetGauge("calibration.unit.brier_ppm")->Value(),
+            std::llround(report.brier * 1e6));
+  EXPECT_EQ(registry.GetGauge("calibration.unit.rows")->Value(), 6);
+
+  const ErrorQuantiles q =
+      ComputeErrorQuantiles({1.0, 2.0}, {0.0, 0.0}).value();
+  PublishErrorQuantileGauges("unit_reg", q);
+  EXPECT_EQ(registry.GetGauge("calibration.unit_reg.mae_ppm")->Value(),
+            std::llround(1.5 * 1e6));
+  EXPECT_EQ(registry.GetGauge("calibration.unit_reg.p90_ppm")->Value(),
+            std::llround(2.0 * 1e6));
+}
+
+}  // namespace
+}  // namespace mysawh::core

@@ -99,7 +99,7 @@ test "$code" -eq 2 || { echo "--resume without dir must exit 2, got $code" >&2; 
 # --- unwritable artifact paths fail fast with exit 2 ----------------------
 # The observability flags probe their destinations before the command runs,
 # so a bad path is a usage error up front, not data loss at the end.
-for flag in --trace-out --metrics-out --telemetry-out; do
+for flag in --trace-out --metrics-out --telemetry-out --audit-out --drift-baseline-out; do
   code_of "$CLI" evaluate "$flag" /does/not/exist/artifact.json
   test "$code" -eq 2 || { echo "$flag to a bad path must exit 2, got $code" >&2; exit 1; }
 done
@@ -157,6 +157,49 @@ code_of "$CLI" train --data smoke_dd_fi.csv --status-interval-ms banana \
   --status-out s.json --out x.model
 test "$code" -eq 2 || { echo "malformed --status-interval-ms must exit 2, got $code" >&2; exit 1; }
 
+# --- model-quality observability: drift, calibration, audit ---------------
+# Training can emit a drift baseline; evaluating the same cohort against it
+# with a full-size window is self-evaluation and must stay clean — and
+# capturing the baseline must not change the trained model. Sampling is
+# pinned to 1: the exactly-clean property holds for the full population,
+# while a subsample carries sampling noise by design.
+"$CLI" train --data smoke_dd_fi.csv --num-trees 25 --out smoke4.model \
+  --drift-baseline-out smoke_drift.json | grep -q "wrote drift baseline"
+test -f smoke_drift.json
+grep -q '"schema":"mysawh-drift-baseline v1"' smoke_drift.json
+cmp smoke.model smoke4.model || { echo "baseline capture changed the model" >&2; exit 1; }
+"$CLI" evaluate --model smoke4.model --data smoke_dd_fi.csv \
+  --drift-baseline smoke_drift.json --drift-window 100000 --drift-sample-rate 1 \
+  | grep -q "drift monitor: 1 window(s), 0 alert(s)"
+# The regression evaluator reports absolute-error quantiles.
+"$CLI" evaluate --model smoke.model --data smoke_dd_fi.csv \
+  | grep -q "abs error quantiles:"
+
+# An audited prediction run logs a deterministic sample and never changes
+# the predictions themselves.
+"$CLI" predict --model smoke.model --data smoke_dd_fi.csv --out preds_audited.csv \
+  --audit-out smoke_audit.bin --audit-sample-rate 4 | grep -q "wrote audit log"
+test -f smoke_audit.bin
+cmp preds.csv preds_audited.csv || { echo "auditing changed predictions" >&2; exit 1; }
+
+# audit-replay re-runs the logged rows and must match bit-for-bit — twice,
+# with identical replay tables.
+"$CLI" audit-replay --audit smoke_audit.bin --model smoke.model --out replay1.csv \
+  | grep -q "all match"
+"$CLI" audit-replay --audit smoke_audit.bin --model smoke.model --out replay2.csv > /dev/null
+cmp replay1.csv replay2.csv || { echo "replay is not deterministic" >&2; exit 1; }
+
+# Replaying against a different model is a runtime failure (exit 1): the
+# log's model fingerprint no longer matches.
+"$CLI" train --data smoke_dd_fi.csv --num-trees 5 --out smoke_small.model > /dev/null
+code_of "$CLI" audit-replay --audit smoke_audit.bin --model smoke_small.model
+test "$code" -eq 1 || { echo "wrong-model replay must exit 1, got $code" >&2; exit 1; }
+
+# A truncated audit log fails its checksum envelope (exit 2).
+head -c "$(( $(wc -c < smoke_audit.bin) / 2 ))" smoke_audit.bin > truncated.audit
+code_of "$CLI" audit-replay --audit truncated.audit --model smoke.model
+test "$code" -eq 2 || { echo "truncated audit log must exit 2, got $code" >&2; exit 1; }
+
 # --- report degrades gracefully on sparse manifests -----------------------
 # A manifest from an older pipeline (no cells / data_quality / telemetry
 # blocks) must render with warnings, not fail: exit 0, warning on stderr.
@@ -166,6 +209,10 @@ code=0
 test "$code" -eq 0 || { echo "sparse manifest must exit 0, got $code" >&2; exit 1; }
 test -f sparse_dash.md
 grep -q "warning:" sparse_warnings.txt || { echo "sparse manifest must warn on stderr" >&2; exit 1; }
+# Manifests that predate the drift/calibration blocks skip those sections
+# with a warning each, rather than failing.
+grep -q "no drift block" sparse_warnings.txt || { echo "missing drift-block warning" >&2; exit 1; }
+grep -q "no calibration block" sparse_warnings.txt || { echo "missing calibration-block warning" >&2; exit 1; }
 grep -q "Provenance" sparse_dash.md
 
 echo "cli smoke test passed"

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/audit_log.h"
 #include "data/dataset.h"
 #include "gbt/flat_forest.h"
 #include "gbt/gbt_model.h"
@@ -328,6 +329,62 @@ TEST_F(CorruptionCorpusTest, FlatValidateRejectsTargetedCorruptionAsDataLoss) {
     EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss)
         << test_case.what << ": " << parsed.status().ToString();
   }
+}
+
+/// A small audit log with a few dozen predict records.
+std::string BuildAuditPayload() {
+  core::AuditLog& log = core::AuditLog::Global();
+  core::AuditOptions options;
+  options.sample_rate = 1;
+  EXPECT_TRUE(log.Configure(options).ok());
+  Rng rng(17);
+  Dataset data = Dataset::Create({"x0", "x1"});
+  std::vector<double> preds;
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(
+        data.AddRow({rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)}, 0.0)
+            .ok());
+    preds.push_back(rng.Uniform(0.0, 1.0));
+  }
+  log.RecordPredictBatch(123, data, preds);
+  log.Disable();
+  return log.SerializePayload();
+}
+
+TEST_F(CorruptionCorpusTest, MutatedAuditLogsAlwaysRejected) {
+  core::AuditLog& log = core::AuditLog::Global();
+  BuildAuditPayload();  // Populates the global log's record buffer.
+  const std::string path = Path("audit.bin");
+  ASSERT_TRUE(log.WriteToFile(path).ok());
+  ASSERT_TRUE(core::ReadAuditFile(path).ok());
+  auto original_or = ReadFileToString(path);
+  ASSERT_TRUE(original_or.ok());
+
+  const std::vector<std::string> corpus = BuildMutations(*original_or);
+  ASSERT_GE(corpus.size(), 200u);
+  const std::string mutant_path = Path("mutant.audit");
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    WriteRaw(mutant_path, corpus[i]);
+    auto read = core::ReadAuditFile(mutant_path);
+    EXPECT_FALSE(read.ok()) << "mutation " << i << " was accepted";
+    if (!read.ok()) {
+      EXPECT_EQ(read.status().code(), StatusCode::kDataLoss)
+          << "mutation " << i << ": " << read.status().ToString();
+    }
+  }
+}
+
+TEST_F(CorruptionCorpusTest, MutatedAuditPayloadsNeverCrashTheParser) {
+  // Past the envelope CRC: the raw payload mutated directly, so every
+  // corruption reaches the record parser (and its fingerprint integrity
+  // check) instead of being caught by the checksum.
+  const std::string payload = BuildAuditPayload();
+  int64_t accepted = 0, rejected = 0;
+  for (const std::string& mutated : BuildMutations(payload)) {
+    auto parsed = core::ParseAuditPayload(mutated);
+    (parsed.ok() ? accepted : rejected) += 1;
+  }
+  EXPECT_GT(rejected, accepted);
 }
 
 TEST_F(CorruptionCorpusTest, MutatedPayloadsNeverCrashTheParsers) {

@@ -1,0 +1,296 @@
+#include "core/drift_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/audit_log.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace mysawh::core {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// A hand-built two-bin baseline: 50/50 split at 0.5, no missingness.
+DriftBaseline TwoBinBaseline() {
+  FeatureBaseline feature;
+  feature.name = "x";
+  feature.edges = {0.5};
+  feature.expected = {0.5, 0.5};
+  feature.missing_expected = 0.0;
+  feature.rows = 100;
+  DriftBaseline baseline;
+  baseline.num_bins = 2;
+  baseline.features = {feature};
+  baseline.prediction.name = "__prediction__";
+  return baseline;
+}
+
+/// One-feature dataset with the given values.
+Dataset OneColumn(const std::vector<double>& values) {
+  Dataset data = Dataset::Create({"x"});
+  for (const double v : values) EXPECT_TRUE(data.AddRow({v}, 0.0).ok());
+  return data;
+}
+
+TEST(DriftStatsTest, PsiAndKsHandComputed) {
+  // Expected [0.5, 0.5], actual [0.9, 0.1]:
+  //   PSI = (0.9-0.5)ln(0.9/0.5) + (0.1-0.5)ln(0.1/0.5) = 0.87889...
+  //   KS  = |0.5 - 0.9| at the single edge = 0.4
+  // (the missing bin contributes 0: both sides clamp to epsilon).
+  std::vector<double> values(90, 0.0);
+  values.insert(values.end(), 10, 1.0);
+  const DriftReport report =
+      EvaluateDrift(TwoBinBaseline(), OneColumn(values), {}, DriftThresholds())
+          .value();
+  ASSERT_EQ(report.features.size(), 1u);
+  const double expected_psi =
+      0.4 * std::log(0.9 / 0.5) - 0.4 * std::log(0.1 / 0.5);
+  EXPECT_NEAR(report.features[0].psi, expected_psi, 1e-12);
+  EXPECT_NEAR(report.features[0].ks, 0.4, 1e-12);
+  EXPECT_EQ(report.rows, 100);
+  EXPECT_EQ(report.max_psi_feature, "x");
+  EXPECT_NEAR(report.max_psi, expected_psi, 1e-12);
+  // Both statistics crossed their default thresholds -> one alert.
+  ASSERT_EQ(report.alerts.size(), 1u);
+  EXPECT_EQ(report.alerts[0], "x");
+}
+
+TEST(DriftStatsTest, MatchingDistributionScoresZero) {
+  // A window with exactly the expected proportions: PSI and KS vanish.
+  std::vector<double> values(50, 0.0);
+  values.insert(values.end(), 50, 1.0);
+  const DriftReport report =
+      EvaluateDrift(TwoBinBaseline(), OneColumn(values), {}, DriftThresholds())
+          .value();
+  EXPECT_NEAR(report.features[0].psi, 0.0, 1e-12);
+  EXPECT_NEAR(report.features[0].ks, 0.0, 1e-12);
+  EXPECT_TRUE(report.alerts.empty());
+}
+
+TEST(DriftStatsTest, MissingnessShiftScoresLikeValueShift) {
+  // Baseline has no missing values; a window that is half NaN must drift.
+  std::vector<double> values(50, 0.25);
+  values.insert(values.end(), 50, kNaN);
+  const DriftReport report =
+      EvaluateDrift(TwoBinBaseline(), OneColumn(values), {}, DriftThresholds())
+          .value();
+  EXPECT_NEAR(report.features[0].missing_actual, 0.5, 1e-12);
+  EXPECT_GT(report.features[0].psi, 0.2);
+  ASSERT_EQ(report.alerts.size(), 1u);
+}
+
+TEST(DriftStatsTest, PredictionDistributionIsMonitoredToo) {
+  DriftBaseline baseline = TwoBinBaseline();
+  baseline.prediction.name = "__prediction__";
+  baseline.prediction.edges = {0.5};
+  baseline.prediction.expected = {0.5, 0.5};
+  baseline.prediction.rows = 100;
+  // Features stay on-distribution; every prediction lands in the top bin.
+  std::vector<double> values(50, 0.0);
+  values.insert(values.end(), 50, 1.0);
+  const std::vector<double> preds(100, 0.9);
+  const DriftReport report =
+      EvaluateDrift(baseline, OneColumn(values), preds, DriftThresholds())
+          .value();
+  EXPECT_NEAR(report.features[0].psi, 0.0, 1e-12);
+  EXPECT_GT(report.prediction.psi, 0.2);
+  ASSERT_EQ(report.alerts.size(), 1u);
+  EXPECT_EQ(report.alerts[0], "__prediction__");
+  EXPECT_EQ(report.max_psi_feature, "__prediction__");
+}
+
+TEST(DriftBaselineTest, EqualFrequencyEdgesOverDistinctValues) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(i);
+  Dataset data = OneColumn(values);
+  const DriftBaseline baseline = BuildDriftBaseline(data, {}, 10).value();
+  ASSERT_EQ(baseline.features.size(), 1u);
+  const FeatureBaseline& feature = baseline.features[0];
+  EXPECT_EQ(feature.rows, 100);
+  EXPECT_EQ(feature.edges.size(), 9u);
+  ASSERT_EQ(feature.expected.size(), 10u);
+  double sum = 0.0;
+  for (const double p : feature.expected) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(feature.missing_expected, 0.0, 1e-12);
+  // Self-evaluation: the data the baseline was built from scores zero.
+  const DriftReport report =
+      EvaluateDrift(baseline, data, {}, DriftThresholds()).value();
+  EXPECT_NEAR(report.max_psi, 0.0, 1e-12);
+  EXPECT_NEAR(report.max_ks, 0.0, 1e-12);
+  EXPECT_TRUE(report.alerts.empty());
+}
+
+TEST(DriftBaselineTest, TiedValuesCollapseBinsAndConstantsKeepZeroEdges) {
+  const DriftBaseline tied =
+      BuildDriftBaseline(OneColumn({1, 1, 1, 1, 2, 2, 2, 2}), {}, 4).value();
+  EXPECT_LT(tied.features[0].edges.size(), 3u);
+  // A constant column dedupes to a single edge at the constant; all the
+  // expected mass lands in bin 0 and self-evaluation still scores zero.
+  const DriftBaseline constant =
+      BuildDriftBaseline(OneColumn({3, 3, 3, 3}), {}, 4).value();
+  ASSERT_EQ(constant.features[0].edges.size(), 1u);
+  EXPECT_EQ(constant.features[0].edges[0], 3.0);
+  ASSERT_EQ(constant.features[0].expected.size(), 2u);
+  EXPECT_NEAR(constant.features[0].expected[0], 1.0, 1e-12);
+  EXPECT_NEAR(constant.features[0].expected[1], 0.0, 1e-12);
+  const DriftBaseline all_missing =
+      BuildDriftBaseline(OneColumn({kNaN, kNaN}), {}, 4).value();
+  EXPECT_EQ(all_missing.features[0].edges.size(), 0u);
+  EXPECT_NEAR(all_missing.features[0].missing_expected, 1.0, 1e-12);
+}
+
+TEST(DriftBaselineTest, Validation) {
+  Dataset empty = Dataset::Create({"x"});
+  EXPECT_FALSE(BuildDriftBaseline(empty, {}, 10).ok());
+  EXPECT_FALSE(BuildDriftBaseline(OneColumn({1, 2}), {}, 1).ok());
+  EXPECT_FALSE(BuildDriftBaseline(OneColumn({1, 2}), {0.5}, 10).ok());
+  // Width mismatch at evaluation time.
+  Dataset wide = Dataset::Create({"x", "y"});
+  EXPECT_TRUE(wide.AddRow({1.0, 2.0}, 0.0).ok());
+  EXPECT_FALSE(
+      EvaluateDrift(TwoBinBaseline(), wide, {}, DriftThresholds()).ok());
+}
+
+TEST(DriftBaselineTest, JsonRoundTripIsExact) {
+  std::vector<double> values;
+  for (int i = 0; i < 64; ++i) {
+    values.push_back(i % 7 == 0 ? kNaN : std::sin(i) * 1e3);
+  }
+  Dataset data = OneColumn(values);
+  const DriftBaseline baseline =
+      BuildDriftBaseline(data, std::vector<double>(64, 0.125), 5).value();
+  const std::string json = DriftBaselineJson(baseline);
+  const DriftBaseline parsed = ParseDriftBaseline(json).value();
+  // Doubles serialize round-trip exact, so re-serialization is bytewise
+  // identical and both baselines score any window identically.
+  EXPECT_EQ(DriftBaselineJson(parsed), json);
+  const std::string a =
+      DriftReportJson(EvaluateDrift(baseline, data, {}, {}).value());
+  const std::string b =
+      DriftReportJson(EvaluateDrift(parsed, data, {}, {}).value());
+  EXPECT_EQ(a, b);
+}
+
+TEST(DriftBaselineTest, ParserRejectsMalformedArtifacts) {
+  EXPECT_FALSE(ParseDriftBaseline("not json").ok());
+  EXPECT_FALSE(ParseDriftBaseline("{\"schema\":\"wrong v9\"}").ok());
+  // A feature whose proportions do not match its edge count is corrupt.
+  const auto mismatched = ParseDriftBaseline(
+      "{\"schema\":\"mysawh-drift-baseline v1\",\"num_bins\":2,"
+      "\"features\":[{\"name\":\"x\",\"rows\":10,\"missing\":0,"
+      "\"edges\":[0.5],\"expected\":[0.2,0.3,0.5]}]}");
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kDataLoss);
+  // Non-ascending edges are corrupt.
+  const auto unsorted = ParseDriftBaseline(
+      "{\"schema\":\"mysawh-drift-baseline v1\",\"num_bins\":3,"
+      "\"features\":[{\"name\":\"x\",\"rows\":10,\"missing\":0,"
+      "\"edges\":[0.7,0.2],\"expected\":[0.3,0.3,0.4]}]}");
+  ASSERT_FALSE(unsorted.ok());
+  EXPECT_EQ(unsorted.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DriftRuntimeTest, WindowsEvaluateAndAlertsLatchOncePerExcursion) {
+  DriftMonitorRuntime& runtime = DriftMonitorRuntime::Global();
+  const int64_t windows_before = runtime.windows_evaluated();
+  const int64_t alerts_before = runtime.alerts_fired();
+  DriftMonitorOptions options;
+  options.window = 4;
+  ASSERT_TRUE(runtime.Configure(TwoBinBaseline(), options).ok());
+  EXPECT_TRUE(DriftMonitoringEnabled());
+
+  // Two dirty windows (all mass in bin 0) -> one latched alert.
+  runtime.ObserveBatch(OneColumn(std::vector<double>(8, 0.0)),
+                       std::vector<double>(8, 0.0));
+  EXPECT_EQ(runtime.windows_evaluated() - windows_before, 2);
+  EXPECT_EQ(runtime.alerts_fired() - alerts_before, 1);
+  EXPECT_NE(runtime.LastReportJson().find("\"alerts\":[\"x\"]"),
+            std::string::npos);
+
+  // A clean 50/50 window re-arms the latch...
+  runtime.ObserveBatch(OneColumn({0.0, 0.0, 1.0, 1.0}),
+                       std::vector<double>(4, 0.0));
+  EXPECT_EQ(runtime.windows_evaluated() - windows_before, 3);
+  EXPECT_EQ(runtime.alerts_fired() - alerts_before, 1);
+
+  // ...so the next excursion fires a second alert.
+  runtime.ObserveBatch(OneColumn(std::vector<double>(4, 1.0)),
+                       std::vector<double>(4, 0.0));
+  EXPECT_EQ(runtime.alerts_fired() - alerts_before, 2);
+
+  // A trailing partial window evaluates on Flush, which also disarms.
+  runtime.ObserveBatch(OneColumn({0.0, 1.0}), {0.0, 0.0});
+  EXPECT_EQ(runtime.windows_evaluated() - windows_before, 4);
+  runtime.Flush();
+  EXPECT_EQ(runtime.windows_evaluated() - windows_before, 5);
+  EXPECT_FALSE(DriftMonitoringEnabled());
+}
+
+TEST(DriftRuntimeTest, MismatchedBatchesAreIgnored) {
+  DriftMonitorRuntime& runtime = DriftMonitorRuntime::Global();
+  const int64_t windows_before = runtime.windows_evaluated();
+  DriftMonitorOptions options;
+  options.window = 2;
+  ASSERT_TRUE(runtime.Configure(TwoBinBaseline(), options).ok());
+  // A two-feature batch cannot belong to the one-feature baseline.
+  Dataset wide = Dataset::Create({"x", "y"});
+  ASSERT_TRUE(wide.AddRow({0.0, 0.0}, 0.0).ok());
+  ASSERT_TRUE(wide.AddRow({1.0, 1.0}, 0.0).ok());
+  runtime.ObserveBatch(wide, {0.0, 0.0});
+  EXPECT_EQ(runtime.windows_evaluated(), windows_before);
+  runtime.Disable();
+  EXPECT_FALSE(DriftMonitoringEnabled());
+}
+
+TEST(DriftRuntimeTest, SampledObservationAdmitsRowsByContentKey) {
+  DriftMonitorRuntime& runtime = DriftMonitorRuntime::Global();
+  const int64_t windows_before = runtime.windows_evaluated();
+  DriftMonitorOptions options;
+  options.window = 4;
+  options.sample_rate = 3;
+  ASSERT_TRUE(runtime.Configure(TwoBinBaseline(), options).ok());
+
+  // Feed values until the monitor has admitted enough sampled rows for
+  // exactly one full window, counting admissions with the same content
+  // key the monitor uses. The admitted population is a pure function of
+  // the values, so the expected count never depends on batch splits.
+  std::vector<double> values;
+  int64_t admitted = 0;
+  for (int i = 0; admitted < options.window; ++i) {
+    const double v = 0.01 * static_cast<double>(i);
+    values.push_back(v);
+    if (AuditSampled(AuditSampleKey(&values.back(), 1), options.sample_rate)) {
+      ++admitted;
+    }
+  }
+  ASSERT_GT(values.size(), static_cast<size_t>(options.window))
+      << "fixture must reject at least one row";
+  runtime.ObserveBatch(OneColumn(values),
+                       std::vector<double>(values.size(), 0.0));
+  EXPECT_EQ(runtime.windows_evaluated() - windows_before, 1);
+  // The window saw only the admitted rows.
+  EXPECT_NE(runtime.LastReportJson().find("\"rows\":4"), std::string::npos);
+  runtime.Disable();
+}
+
+TEST(DriftRuntimeTest, ConfigureValidation) {
+  DriftMonitorRuntime& runtime = DriftMonitorRuntime::Global();
+  EXPECT_FALSE(runtime.Configure(DriftBaseline(), {}).ok());
+  DriftMonitorOptions bad_window;
+  bad_window.window = 0;
+  EXPECT_FALSE(runtime.Configure(TwoBinBaseline(), bad_window).ok());
+  DriftMonitorOptions bad_rate;
+  bad_rate.sample_rate = 0;
+  EXPECT_FALSE(runtime.Configure(TwoBinBaseline(), bad_rate).ok());
+  runtime.Disable();
+}
+
+}  // namespace
+}  // namespace mysawh::core

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "core/audit_log.h"
+#include "core/drift_monitor.h"
 #include "explain/tree_shap.h"
 #include "gbt/gbt_model.h"
 #include "util/monitor.h"
@@ -244,6 +246,69 @@ TEST(DeterminismTest, FlatShapBitIdenticalToReferenceAcrossThreadCounts) {
         }
       }
     }
+  }
+}
+
+TEST(DeterminismTest, AuditLogBitIdenticalAcrossThreadCounts) {
+  // The audit log is part of the determinism contract: sampling is a pure
+  // function of row content and records are content-sorted at
+  // serialization, so the payload must be byte-identical no matter how
+  // many workers predicted or explained the rows.
+  const Dataset train = MakeData(1500);
+  const Dataset probe = MakeData(300);
+  const GbtModel model =
+      GbtModel::Train(train, BaseParams(TreeMethod::kHist)).value();
+  const explain::TreeShap shap(&model);
+  std::string reference;
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    core::AuditOptions options;
+    options.sample_rate = 4;
+    ASSERT_TRUE(core::AuditLog::Global().Configure(options).ok());
+    ASSERT_TRUE(model.Predict(probe).ok());
+    ASSERT_TRUE(shap.ShapBatch(probe, &pool).ok());
+    const std::string payload = core::AuditLog::Global().SerializePayload();
+    core::AuditLog::Global().Disable();
+    EXPECT_NE(payload.find("\"type\":\"predict\""), std::string::npos);
+    EXPECT_NE(payload.find("\"type\":\"shap\""), std::string::npos);
+    if (threads == 1) {
+      reference = payload;
+    } else {
+      EXPECT_EQ(payload, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(DeterminismTest, AuditAndDriftObservationDoesNotChangePredictions) {
+  // Both hooks run on the calling thread after the parallel prediction
+  // loop: an audited, drift-monitored run must produce bit-identical
+  // predictions to a plain one.
+  const Dataset train = MakeData(1500);
+  const Dataset probe = MakeData(400);
+  const GbtModel model =
+      GbtModel::Train(train, BaseParams(TreeMethod::kHist)).value();
+  const std::vector<double> plain = model.Predict(probe).value();
+  const core::DriftBaseline baseline =
+      core::BuildDriftBaseline(train, model.Predict(train).value(), 10)
+          .value();
+
+  core::AuditOptions audit_options;
+  audit_options.sample_rate = 1;
+  ASSERT_TRUE(core::AuditLog::Global().Configure(audit_options).ok());
+  core::DriftMonitorOptions drift_options;
+  drift_options.window = 64;
+  ASSERT_TRUE(core::DriftMonitorRuntime::Global()
+                  .Configure(baseline, drift_options)
+                  .ok());
+  const std::vector<double> observed = model.Predict(probe).value();
+  core::DriftMonitorRuntime::Global().Flush();
+  core::AuditLog::Global().Disable();
+
+  EXPECT_EQ(core::AuditLog::Global().record_count(), probe.num_rows());
+  EXPECT_GT(core::DriftMonitorRuntime::Global().windows_evaluated(), 0);
+  ASSERT_EQ(observed.size(), plain.size());
+  for (size_t r = 0; r < observed.size(); ++r) {
+    EXPECT_EQ(observed[r], plain[r]) << "row " << r;
   }
 }
 

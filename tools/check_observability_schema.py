@@ -6,6 +6,7 @@ Usage:
                                   [telemetry.jsonl]
     check_observability_schema.py --status <status.json> [more heartbeats...]
     check_observability_schema.py --manifest <manifest.json>
+    check_observability_schema.py --audit <audit.bin>
 
 Validates, with stdlib only:
   * the trace file is Chrome trace-event JSON: a traceEvents array whose
@@ -24,13 +25,22 @@ Validates, with stdlib only:
     seq, nonnegative uptime, resource sample, progress counters, study
     progress, queue depth, counter deltas, bounded event list), and the
     sequence numbers strictly increase across the files in argument order
-    (how CI proves it captured distinct mid-run heartbeats).
+    (how CI proves it captured distinct mid-run heartbeats);
+  * the manifest's per-cell `drift` reports (PSI/KS stats, argmax
+    summaries, alert list) and `calibration` entries (classification:
+    Brier/ECE/reliability bins; regression: MAE + error quantiles),
+    covering exactly the profiled (non-resumed) cells;
+  * with --audit: the file is a checksummed mysawh-audit v1 artifact —
+    the mysawh-artifact envelope's crc32/byte count match the payload,
+    the header's record count matches the body, record lines are
+    content-sorted, and every record carries its type's fields.
 
 Exits 0 when everything holds, 1 with a message on the first violation.
 """
 
 import json
 import sys
+import zlib
 
 NUM_HISTOGRAM_BUCKETS = 20
 EXPECTED_STUDY_CELLS = 12
@@ -155,13 +165,76 @@ def check_data_quality(quality, path):
                      f"occupies more bins than it has")
 
 
+def check_drift_stat(stat, where):
+    for key in ("name", "psi", "ks", "missing", "rows"):
+        if key not in stat:
+            fail(f"{where}: drift stat missing '{key}': {stat}")
+    for key in ("psi", "ks", "missing"):
+        if stat[key] is not None and stat[key] < 0:
+            fail(f"{where}: drift stat {stat['name']}.{key} negative")
+
+
+def check_drift(drift, path):
+    for name, report in drift.items():
+        where = f"{path}: drift[{name}]"
+        for key in ("rows", "max_psi", "max_psi_feature", "max_ks",
+                    "max_ks_feature", "alerts", "prediction", "features"):
+            if key not in report:
+                fail(f"{where} missing '{key}'")
+        if report["rows"] <= 0:
+            fail(f"{where} has no rows")
+        if not isinstance(report["alerts"], list):
+            fail(f"{where} alerts must be a list")
+        check_drift_stat(report["prediction"], where)
+        for stat in report["features"]:
+            check_drift_stat(stat, where)
+        # The argmax summaries must point at a stat that exists.
+        names = {s["name"] for s in report["features"]}
+        names.add(report["prediction"]["name"])
+        for key in ("max_psi_feature", "max_ks_feature"):
+            if report[key] and report[key] not in names:
+                fail(f"{where} {key}={report[key]!r} names no stat")
+        for alert in report["alerts"]:
+            if alert not in names:
+                fail(f"{where} alert {alert!r} names no stat")
+
+
+def check_calibration(calibration, path):
+    for name, report in calibration.items():
+        where = f"{path}: calibration[{name}]"
+        kind = report.get("kind")
+        if kind == "classification":
+            for key in ("rows", "num_bins", "brier", "ece", "bins"):
+                if key not in report:
+                    fail(f"{where} missing '{key}'")
+            if not 0.0 <= report["brier"] <= 1.0:
+                fail(f"{where} brier out of [0,1]")
+            if not 0.0 <= report["ece"] <= 1.0:
+                fail(f"{where} ece out of [0,1]")
+            if sum(b["count"] for b in report["bins"]) != report["rows"]:
+                fail(f"{where} bin counts do not sum to rows")
+            for bin_ in report["bins"]:
+                for key in ("count", "mean_pred", "mean_obs"):
+                    if key not in bin_:
+                        fail(f"{where} bin missing '{key}': {bin_}")
+        elif kind == "regression":
+            for key in ("rows", "mae", "p50", "p90", "p99", "max"):
+                if key not in report:
+                    fail(f"{where} missing '{key}'")
+            if not (report["p50"] <= report["p90"] <= report["p99"]
+                    <= report["max"]):
+                fail(f"{where} error quantiles not monotonic")
+        else:
+            fail(f"{where} unknown kind: {kind!r}")
+
+
 def check_manifest(path):
     with open(path) as f:
         manifest = json.load(f)
     if manifest.get("schema") != "mysawh-run-manifest v1":
         fail(f"{path}: bad schema field: {manifest.get('schema')!r}")
     for key in ("git_describe", "fingerprint", "seed", "model_family",
-                "cells", "data_quality", "metrics"):
+                "cells", "data_quality", "drift", "calibration", "metrics"):
         if key not in manifest:
             fail(f"{path}: missing '{key}'")
     cells = manifest["cells"]
@@ -183,6 +256,15 @@ def check_manifest(path):
         fail(f"{path}: data_quality must cover exactly the non-resumed "
              f"cells ({sorted(computed)}), got "
              f"{sorted(manifest['data_quality'])}")
+    # The model-quality post-pass scores the same freshly computed cells
+    # the profiler sees (resumed cells carry no partitions to score).
+    check_drift(manifest["drift"], path)
+    check_calibration(manifest["calibration"], path)
+    for block in ("drift", "calibration"):
+        if set(manifest[block]) != computed:
+            fail(f"{path}: {block} must cover exactly the non-resumed "
+                 f"cells ({sorted(computed)}), got "
+                 f"{sorted(manifest[block])}")
     check_metrics_object(manifest["metrics"], f"{path}:metrics")
     # Optional live-observability blocks (present on monitored / span-cost
     # runs only, but never malformed).
@@ -237,14 +319,23 @@ def check_status_object(status, where):
     if not isinstance(events, list) or len(events) > 8:
         fail(f"{where}: events must be a list of at most 8 entries")
     for event in events:
-        if event.get("type") != "stall":
-            fail(f"{where}: unknown event type: {event.get('type')!r}")
-        for key in ("at_uptime_ms", "silent_ms", "queue_depth",
-                    "recent_spans"):
-            if key not in event:
-                fail(f"{where}: stall event missing '{key}'")
-        if not isinstance(event["recent_spans"], list):
-            fail(f"{where}: stall recent_spans must be a list")
+        kind = event.get("type")
+        if kind == "stall":
+            for key in ("at_uptime_ms", "silent_ms", "queue_depth",
+                        "recent_spans"):
+                if key not in event:
+                    fail(f"{where}: stall event missing '{key}'")
+            if not isinstance(event["recent_spans"], list):
+                fail(f"{where}: stall recent_spans must be a list")
+        elif kind == "drift":
+            for key in ("window_rows", "max_psi", "max_psi_feature",
+                        "max_ks", "max_ks_feature", "alerts"):
+                if key not in event:
+                    fail(f"{where}: drift event missing '{key}'")
+            if not event["alerts"]:
+                fail(f"{where}: a drift event must name its alerts")
+        else:
+            fail(f"{where}: unknown event type: {kind!r}")
     return status["seq"]
 
 
@@ -275,6 +366,64 @@ def check_span_costs(costs, where):
                  for e in costs[key]]
         if ranks != sorted(ranks, reverse=True):
             fail(f"{where}: span_costs.{key} not sorted descending")
+
+
+def check_audit(path):
+    with open(path, "rb") as f:
+        blob = f.read()
+    newline = blob.find(b"\n")
+    if newline < 0:
+        fail(f"{path}: no envelope line")
+    envelope = blob[:newline].decode("ascii", errors="replace")
+    payload = blob[newline + 1:]
+    fields = envelope.split(" ")
+    if (len(fields) != 4 or fields[0] != "mysawh-artifact"
+            or fields[1] != "v1" or not fields[2].startswith("crc32=")
+            or not fields[3].startswith("bytes=")):
+        fail(f"{path}: bad envelope line: {envelope!r}")
+    if int(fields[3][6:]) != len(payload):
+        fail(f"{path}: envelope claims {fields[3][6:]} payload bytes, "
+             f"file has {len(payload)}")
+    crc = f"{zlib.crc32(payload) & 0xffffffff:08x}"
+    if fields[2][6:] != crc:
+        fail(f"{path}: envelope crc {fields[2][6:]} != payload crc {crc}")
+    lines = payload.decode("utf-8").splitlines()
+    if not lines:
+        fail(f"{path}: empty audit payload")
+    header = json.loads(lines[0])
+    if header.get("schema") != "mysawh-audit v1":
+        fail(f"{path}: bad schema line: {lines[0][:80]}")
+    if header.get("sample_rate", 0) < 1 or header.get("top_k", 0) < 1:
+        fail(f"{path}: invalid sampling options in header")
+    records = lines[1:]
+    if header.get("records") != len(records):
+        fail(f"{path}: header claims {header.get('records')} records, "
+             f"body has {len(records)}")
+    if records != sorted(records):
+        fail(f"{path}: record lines not content-sorted")
+    for i, line in enumerate(records, start=2):
+        record = json.loads(line)
+        for key in ("type", "fp", "model", "features"):
+            if key not in record:
+                fail(f"{path}:{i}: record missing '{key}'")
+        for key in ("fp", "model"):
+            int(record[key], 16)
+        if record["type"] == "predict":
+            if "prediction" not in record:
+                fail(f"{path}:{i}: predict record lacks a prediction")
+        elif record["type"] == "shap":
+            shap = record.get("shap")
+            if not isinstance(shap, list):
+                fail(f"{path}:{i}: shap record lacks attributions")
+            if len(shap) > header["top_k"]:
+                fail(f"{path}:{i}: {len(shap)} attributions exceed "
+                     f"top_k {header['top_k']}")
+            for entry in shap:
+                if "i" not in entry or "v" not in entry:
+                    fail(f"{path}:{i}: malformed attribution: {entry}")
+        else:
+            fail(f"{path}:{i}: unknown record type: {record['type']!r}")
+    return len(records)
 
 
 def check_telemetry(path):
@@ -329,6 +478,10 @@ def main(argv):
     if len(argv) == 3 and argv[1] == "--manifest":
         cells = check_manifest(argv[2])
         print(f"ok: {cells} manifest cells")
+        return 0
+    if len(argv) == 3 and argv[1] == "--audit":
+        n = check_audit(argv[2])
+        print(f"ok: {n} audit records")
         return 0
     if len(argv) not in (4, 5):
         print(__doc__, file=sys.stderr)

@@ -9,17 +9,23 @@
 ///   importance Gain / cover / split-count feature importance of a model.
 ///   study      The full 12-cell DD-vs-KD study, with checkpoint/resume.
 ///   report     Markdown dashboard from a run manifest and/or telemetry.
+///   audit-replay  Re-run a prediction audit log and cmp-assert outputs.
 ///
 /// Run `mysawh_cli help` for flag documentation.
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <iostream>
 #include <limits>
 #include <memory>
 #include <sstream>
 
 #include "cohort/simulator.h"
+#include "core/audit_log.h"
+#include "core/calibration_monitor.h"
+#include "core/drift_monitor.h"
 #include "core/evaluation.h"
 #include "core/metrics.h"
 #include "core/run_manifest.h"
@@ -69,11 +75,35 @@ commands:
              label and excluded ones are features). The model file starts
              with a `kind:` header, so predict/evaluate/explain can load
              any family without being told which one.
+             [--drift-baseline-out FILE] additionally writes the training
+             distribution (equal-frequency bin edges + expected
+             proportions per feature and for the model's own predictions,
+             [--drift-bins 10]) as a mysawh-drift-baseline v1 JSON for
+             later drift monitoring.
 
   predict    --model FILE --data FILE [--out preds.csv]
   evaluate   --model FILE --data FILE [--label label] [--threshold 0.5]
+             [--calibration-bins 10]
+             evaluate also reports calibration: Brier/ECE over the
+             reliability bins for classifiers, absolute-error quantiles
+             for regressors, published as calibration.evaluate.* gauges.
+             Both predict and evaluate accept [--drift-baseline FILE]:
+             prediction batches then stream through the drift monitor,
+             which scores PSI/KS per rolling window ([--drift-window 256]
+             of rows sampled 1-in-[--drift-sample-rate 16] by content key)
+             against the baseline and latches a `drift` alert event
+             (status stream + drift.alerts counter) when a feature or the
+             prediction distribution crosses [--drift-psi-threshold 0.2]
+             or [--drift-ks-threshold 0.15]; a clean window re-arms.
   explain    --model FILE --data FILE [--row 0] [--top 5]   (gbt only)
   importance --model FILE [--type gain|cover|split]         (gbt only)
+
+  audit-replay --audit FILE --model FILE [--out replay.csv]
+             Re-runs every record of a mysawh-audit v1 log (written via
+             --audit-out) through the model: predictions and top-k SHAP
+             attributions must reproduce the logged values exactly (same
+             model fingerprint, same bits). Exit 1 on any mismatch. With
+             --out, writes a deterministic logged-vs-replayed CSV.
 
   study      [--seed 42] [--model_family gbt|linear|gam] [--threads 0]
              [--cv-folds 5] [--out REPORT.md]
@@ -86,8 +116,11 @@ commands:
              study continues where it stopped and produces a report
              bit-identical to an uninterrupted run. A run manifest (source
              revision, config fingerprint, per-cell wall/CPU cost, metrics
-             snapshot, per-cell data-quality profile) is always written as
-             a sidecar; the report itself never changes.
+             snapshot, per-cell data-quality profile, per-cell drift and
+             calibration reports — see [--drift-psi-threshold 0.2]
+             [--drift-ks-threshold 0.15] [--drift-bins 10]
+             [--calibration-bins 10]) is always written as a sidecar; the
+             report itself never changes.
 
   report     [--manifest FILE] [--telemetry FILE] [--out dashboard.md]
              Renders a Markdown dashboard from a study run manifest
@@ -124,6 +157,16 @@ observability flags (every command):
   --stall-timeout-ms N  with --status-out: emit a `stall` event (status
                         stream + trace + monitor.stalls counter) when no
                         progress counter advances for N ms (0 = off)
+  --audit-out FILE      deterministically sample tree-model predictions
+                        (and SHAP batches) into a checksummed mysawh-audit
+                        v1 log: per sampled row the feature vector, its
+                        content fingerprint, the model fingerprint, the
+                        prediction / top-k attributions. Byte-identical
+                        for any --threads value; replay with audit-replay
+  --audit-sample-rate N keep one row in N, selected by the row's content
+                        fingerprint, never by arrival order (default 16;
+                        1 keeps every row)
+  --audit-top-k K       SHAP attributions kept per sampled row (default 3)
   All artifact paths are probed before the command runs; an unwritable
   path is a usage error (exit 2). Monitoring never changes results: a
   monitored run's outputs are bit-identical to an unmonitored one.
@@ -189,6 +232,45 @@ Result<core::ModelFamily> GetModelFamily(const FlagParser& flags) {
   std::string name = flags.GetString("model_family");
   if (name.empty()) name = flags.GetString("model-family", "gbt");
   return core::ParseModelFamily(name);
+}
+
+/// The --drift-psi-threshold/--drift-ks-threshold pair.
+Result<core::DriftThresholds> GetDriftThresholds(const FlagParser& flags) {
+  core::DriftThresholds thresholds;
+  MYSAWH_ASSIGN_OR_RETURN(thresholds.psi,
+                          flags.GetDouble("drift-psi-threshold", 0.2));
+  MYSAWH_ASSIGN_OR_RETURN(thresholds.ks,
+                          flags.GetDouble("drift-ks-threshold", 0.15));
+  return thresholds;
+}
+
+/// Arms the streaming drift monitor from --drift-baseline. Returns false
+/// (and does nothing) when the flag is absent; callers that get true must
+/// call FinishDriftMonitor() after their prediction batches.
+Result<bool> ArmDriftMonitor(const FlagParser& flags) {
+  const std::string path = flags.GetString("drift-baseline");
+  if (path.empty()) return false;
+  MYSAWH_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  MYSAWH_ASSIGN_OR_RETURN(core::DriftBaseline baseline,
+                          core::ParseDriftBaseline(text));
+  core::DriftMonitorOptions options;
+  MYSAWH_ASSIGN_OR_RETURN(options.window, flags.GetInt("drift-window", 256));
+  MYSAWH_ASSIGN_OR_RETURN(options.sample_rate,
+                          flags.GetInt("drift-sample-rate", 16));
+  MYSAWH_ASSIGN_OR_RETURN(options.thresholds, GetDriftThresholds(flags));
+  MYSAWH_RETURN_NOT_OK(core::DriftMonitorRuntime::Global().Configure(
+      std::move(baseline), options));
+  return true;
+}
+
+/// Evaluates the monitor's trailing partial window and prints the
+/// one-line summary (the detailed report lives in --metrics-out counters
+/// and the status event stream).
+void FinishDriftMonitor() {
+  core::DriftMonitorRuntime& runtime = core::DriftMonitorRuntime::Global();
+  runtime.Flush();
+  std::cout << "drift monitor: " << runtime.windows_evaluated()
+            << " window(s), " << runtime.alerts_fired() << " alert(s)\n";
 }
 
 Status RunGenerate(const FlagParser& flags) {
@@ -299,6 +381,22 @@ Status RunTrain(const FlagParser& flags) {
   std::cout << "trained " << trained << " on " << data.num_rows() << " rows x "
             << data.num_features() << " features; model written to " << out
             << "\n";
+  const std::string drift_baseline_out = flags.GetString("drift-baseline-out");
+  if (!drift_baseline_out.empty()) {
+    MYSAWH_ASSIGN_OR_RETURN(int64_t drift_bins, flags.GetInt("drift-bins", 10));
+    MYSAWH_ASSIGN_OR_RETURN(std::vector<double> train_preds,
+                            model->PredictBatch(data));
+    MYSAWH_ASSIGN_OR_RETURN(
+        core::DriftBaseline baseline,
+        core::BuildDriftBaseline(data, train_preds,
+                                 static_cast<int>(drift_bins)));
+    MYSAWH_RETURN_NOT_OK(WriteFileAtomic(drift_baseline_out,
+                                         core::DriftBaselineJson(baseline) +
+                                             "\n",
+                                         "drift_baseline_write"));
+    std::cout << "wrote drift baseline (" << baseline.features.size()
+              << " features) to " << drift_baseline_out << "\n";
+  }
   return Status::Ok();
 }
 
@@ -306,8 +404,10 @@ Status RunPredict(const FlagParser& flags) {
   MYSAWH_ASSIGN_OR_RETURN(std::unique_ptr<model::Model> model,
                           LoadModel(flags));
   MYSAWH_ASSIGN_OR_RETURN(Dataset data, LoadDataset(flags, model.get()));
+  MYSAWH_ASSIGN_OR_RETURN(bool drift_armed, ArmDriftMonitor(flags));
   MYSAWH_ASSIGN_OR_RETURN(std::vector<double> preds,
                           model->PredictBatch(data));
+  if (drift_armed) FinishDriftMonitor();
   const std::string out = flags.GetString("out", "predictions.csv");
   CsvDocument csv;
   csv.header = {"row", "prediction"};
@@ -323,8 +423,12 @@ Status RunEvaluate(const FlagParser& flags) {
   MYSAWH_ASSIGN_OR_RETURN(std::unique_ptr<model::Model> model,
                           LoadModel(flags));
   MYSAWH_ASSIGN_OR_RETURN(Dataset data, LoadDataset(flags, model.get()));
+  MYSAWH_ASSIGN_OR_RETURN(bool drift_armed, ArmDriftMonitor(flags));
   MYSAWH_ASSIGN_OR_RETURN(std::vector<double> preds,
                           model->PredictBatch(data));
+  if (drift_armed) FinishDriftMonitor();
+  MYSAWH_ASSIGN_OR_RETURN(int64_t calibration_bins,
+                          flags.GetInt("calibration-bins", 10));
   if (model->IsClassifier()) {
     MYSAWH_ASSIGN_OR_RETURN(double threshold,
                             flags.GetDouble("threshold", 0.5));
@@ -334,10 +438,26 @@ Status RunEvaluate(const FlagParser& flags) {
     std::cout << metrics.ToString() << "\n";
     auto auc = core::RocAuc(data.labels(), preds);
     if (auc.ok()) std::cout << "auc=" << FormatDouble(*auc, 4) << "\n";
+    MYSAWH_ASSIGN_OR_RETURN(
+        core::CalibrationReport calibration,
+        core::ComputeCalibration(data.labels(), preds,
+                                 static_cast<int>(calibration_bins)));
+    core::PublishCalibrationGauges("evaluate", calibration);
+    std::cout << "calibration: brier=" << FormatDouble(calibration.brier, 4)
+              << " ece=" << FormatDouble(calibration.ece, 4) << " over "
+              << calibration.bins.size() << " bins\n";
   } else {
     MYSAWH_ASSIGN_OR_RETURN(auto metrics, core::ComputeRegressionMetrics(
                                               data.labels(), preds));
     std::cout << metrics.ToString() << "\n";
+    MYSAWH_ASSIGN_OR_RETURN(core::ErrorQuantiles quantiles,
+                            core::ComputeErrorQuantiles(data.labels(), preds));
+    core::PublishErrorQuantileGauges("evaluate", quantiles);
+    std::cout << "abs error quantiles: p50="
+              << FormatDouble(quantiles.p50, 4)
+              << " p90=" << FormatDouble(quantiles.p90, 4)
+              << " p99=" << FormatDouble(quantiles.p99, 4)
+              << " max=" << FormatDouble(quantiles.max_err, 4) << "\n";
   }
   return Status::Ok();
 }
@@ -386,11 +506,160 @@ Status RunImportance(const FlagParser& flags) {
   return Status::Ok();
 }
 
+/// 16-hex-digit fingerprint, the audit artifact's spelling.
+std::string HexFp(uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+/// Exact replay equality: audit doubles are serialized round-trip-exact,
+/// so anything short of the same value (or NaN for NaN) is a mismatch.
+bool ReplayMatches(double logged, double replayed) {
+  if (std::isnan(logged) || std::isnan(replayed)) {
+    return std::isnan(logged) && std::isnan(replayed);
+  }
+  return logged == replayed;
+}
+
+/// "i=v;i=v" rendering of a top-k attribution list for the replay CSV
+/// (';' so the cell stays one CSV field).
+std::string ShapCell(const std::vector<core::AuditShapEntry>& entries) {
+  std::string out;
+  for (const core::AuditShapEntry& entry : entries) {
+    if (!out.empty()) out += ';';
+    out += std::to_string(entry.index);
+    out += '=';
+    out += TelemetryDouble(entry.value);
+  }
+  return out.empty() ? "-" : out;
+}
+
+Status RunAuditReplay(const FlagParser& flags) {
+  const std::string audit_path = flags.GetString("audit");
+  if (audit_path.empty()) return Status::InvalidArgument("--audit is required");
+  MYSAWH_ASSIGN_OR_RETURN(core::AuditFile audit,
+                          core::ReadAuditFile(audit_path));
+  MYSAWH_ASSIGN_OR_RETURN(std::unique_ptr<model::Model> model,
+                          LoadModel(flags));
+  MYSAWH_ASSIGN_OR_RETURN(const gbt::GbtModel* gbt, AsGbt(*model));
+  const std::vector<std::string>& names = model->FeatureNames();
+
+  // The log names the exact model that produced it; replaying against a
+  // different one cannot reproduce bits, so fail before predicting.
+  std::vector<const core::AuditRecord*> predicts;
+  std::vector<const core::AuditRecord*> shaps;
+  for (const core::AuditRecord& record : audit.records) {
+    if (record.model_fp != gbt->fingerprint()) {
+      return Status::FailedPrecondition(
+          "audit-replay: log was written by model " + HexFp(record.model_fp) +
+          " but --model has fingerprint " + HexFp(gbt->fingerprint()));
+    }
+    if (record.features.size() != names.size()) {
+      return Status::FailedPrecondition(
+          "audit-replay: record has " + std::to_string(record.features.size()) +
+          " features, the model expects " + std::to_string(names.size()));
+    }
+    (record.type == "predict" ? predicts : shaps).push_back(&record);
+  }
+
+  CsvDocument replay;
+  replay.header = {"type", "fp", "logged", "replayed", "match"};
+  int64_t mismatches = 0;
+  const auto report = [&](const char* type, const core::AuditRecord& record,
+                          const std::string& logged,
+                          const std::string& replayed, bool match) {
+    if (!match) {
+      ++mismatches;
+      std::cerr << "mismatch: " << type << " fp=" << HexFp(record.row_fp)
+                << " logged " << logged << " replayed " << replayed << "\n";
+    }
+    replay.rows.push_back({type, HexFp(record.row_fp), logged, replayed,
+                           match ? "yes" : "NO"});
+  };
+
+  if (!predicts.empty()) {
+    Dataset rows = Dataset::Create(names);
+    for (const core::AuditRecord* record : predicts) {
+      MYSAWH_RETURN_NOT_OK(rows.AddRow(record->features, 0.0));
+    }
+    MYSAWH_ASSIGN_OR_RETURN(std::vector<double> preds,
+                            model->PredictBatch(rows));
+    for (size_t i = 0; i < predicts.size(); ++i) {
+      report("predict", *predicts[i], TelemetryDouble(predicts[i]->prediction),
+             TelemetryDouble(preds[i]),
+             ReplayMatches(predicts[i]->prediction, preds[i]));
+    }
+  }
+
+  if (!shaps.empty()) {
+    Dataset rows = Dataset::Create(names);
+    for (const core::AuditRecord* record : shaps) {
+      MYSAWH_RETURN_NOT_OK(rows.AddRow(record->features, 0.0));
+    }
+    const explain::TreeShap shap(gbt);
+    MYSAWH_ASSIGN_OR_RETURN(std::vector<std::vector<double>> shap_rows,
+                            shap.ShapBatch(rows));
+    for (size_t i = 0; i < shaps.size(); ++i) {
+      // Re-select the top-k exactly as the recorder did: |value|
+      // descending, ties by feature index.
+      std::vector<core::AuditShapEntry> entries;
+      for (size_t f = 0; f < shap_rows[i].size(); ++f) {
+        entries.push_back({static_cast<int>(f), shap_rows[i][f]});
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const core::AuditShapEntry& a,
+                   const core::AuditShapEntry& b) {
+                  const double ma = std::fabs(a.value);
+                  const double mb = std::fabs(b.value);
+                  if (ma != mb) return ma > mb;
+                  return a.index < b.index;
+                });
+      if (entries.size() > static_cast<size_t>(audit.top_k)) {
+        entries.resize(static_cast<size_t>(audit.top_k));
+      }
+      const std::vector<core::AuditShapEntry>& logged = shaps[i]->shap;
+      bool match = logged.size() == entries.size();
+      for (size_t k = 0; match && k < entries.size(); ++k) {
+        match = logged[k].index == entries[k].index &&
+                ReplayMatches(logged[k].value, entries[k].value);
+      }
+      report("shap", *shaps[i], ShapCell(logged), ShapCell(entries), match);
+    }
+  }
+
+  const std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    MYSAWH_RETURN_NOT_OK(WriteCsv(out, replay));
+    std::cout << "wrote replay table to " << out << "\n";
+  }
+  std::cout << "replayed " << predicts.size() << " predict and "
+            << shaps.size() << " shap record(s) against model "
+            << HexFp(gbt->fingerprint()) << ": "
+            << (mismatches == 0
+                    ? "all match"
+                    : std::to_string(mismatches) + " MISMATCHED")
+            << "\n";
+  if (mismatches > 0) {
+    return Status::FailedPrecondition(
+        "audit-replay: " + std::to_string(mismatches) +
+        " record(s) did not reproduce");
+  }
+  return Status::Ok();
+}
+
 Status RunStudy(const FlagParser& flags) {
   core::StudyConfig config;
   MYSAWH_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
   config.cohort.seed = static_cast<uint64_t>(seed);
   MYSAWH_ASSIGN_OR_RETURN(config.model_family, GetModelFamily(flags));
+  MYSAWH_ASSIGN_OR_RETURN(config.drift_thresholds, GetDriftThresholds(flags));
+  MYSAWH_ASSIGN_OR_RETURN(int64_t drift_bins, flags.GetInt("drift-bins", 10));
+  config.drift_bins = static_cast<int>(drift_bins);
+  MYSAWH_ASSIGN_OR_RETURN(int64_t calibration_bins,
+                          flags.GetInt("calibration-bins", 10));
+  config.calibration_bins = static_cast<int>(calibration_bins);
   MYSAWH_ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 0));
   config.num_threads = static_cast<int>(threads);
   MYSAWH_ASSIGN_OR_RETURN(int64_t folds, flags.GetInt("cv-folds", 5));
@@ -618,6 +887,73 @@ Status RunReport(const FlagParser& flags) {
       }
     }
 
+    const JsonValue* drift = manifest.Find("drift");
+    if (drift == nullptr || !drift->is_object() ||
+        drift->object_members().empty()) {
+      std::cerr << "warning: " << manifest_path
+                << " has no drift block; skipping Drift\n";
+    } else {
+      os << "\n## Drift\n\n"
+         << "| cell | rows | max PSI | max KS | alerts | per-feature PSI "
+         << "|\n|---|---|---|---|---|---|\n";
+      for (const auto& [name, cell] : drift->object_members()) {
+        std::vector<double> psis;
+        const JsonValue* features = cell.Find("features");
+        if (features != nullptr && features->is_array()) {
+          for (const JsonValue& feature : features->array_items()) {
+            psis.push_back(feature.NumberOr("psi", 0.0));
+          }
+        }
+        const JsonValue* alerts = cell.Find("alerts");
+        const size_t alert_count =
+            (alerts != nullptr && alerts->is_array())
+                ? alerts->array_items().size()
+                : 0;
+        os << "| " << name << " | " << FormatDouble(cell.NumberOr("rows", 0), 0)
+           << " | " << FormatDouble(cell.NumberOr("max_psi", 0), 3) << " ("
+           << cell.StringOr("max_psi_feature", "-") << ") | "
+           << FormatDouble(cell.NumberOr("max_ks", 0), 3) << " ("
+           << cell.StringOr("max_ks_feature", "-") << ") | "
+           << (alert_count == 0 ? std::string("-")
+                                : std::to_string(alert_count))
+           << " | `" << Sparkline(psis) << "` |\n";
+      }
+    }
+
+    const JsonValue* calibration = manifest.Find("calibration");
+    if (calibration == nullptr || !calibration->is_object() ||
+        calibration->object_members().empty()) {
+      std::cerr << "warning: " << manifest_path
+                << " has no calibration block; skipping Calibration\n";
+    } else {
+      os << "\n## Calibration\n\n"
+         << "| cell | kind | rows | scores | shape |\n|---|---|---|---|---|\n";
+      for (const auto& [name, cell] : calibration->object_members()) {
+        const std::string kind = cell.StringOr("kind", "?");
+        os << "| " << name << " | " << kind << " | "
+           << FormatDouble(cell.NumberOr("rows", 0), 0) << " | ";
+        if (kind == "classification") {
+          // Shape = observed positive rate per reliability bin; a
+          // calibrated model sweeps it monotonically from low to high.
+          std::vector<double> observed;
+          const JsonValue* bins = cell.Find("bins");
+          if (bins != nullptr && bins->is_array()) {
+            for (const JsonValue& bin : bins->array_items()) {
+              observed.push_back(bin.NumberOr("mean_obs", 0.0));
+            }
+          }
+          os << "brier " << FormatDouble(cell.NumberOr("brier", 0), 4)
+             << ", ece " << FormatDouble(cell.NumberOr("ece", 0), 4) << " | `"
+             << Sparkline(observed) << "` |\n";
+        } else {
+          os << "mae " << FormatDouble(cell.NumberOr("mae", 0), 3)
+             << " | p50/p90/p99 = " << FormatDouble(cell.NumberOr("p50", 0), 3)
+             << "/" << FormatDouble(cell.NumberOr("p90", 0), 3) << "/"
+             << FormatDouble(cell.NumberOr("p99", 0), 3) << " |\n";
+        }
+      }
+    }
+
     // Latency percentiles, re-derived from the snapshot's power-of-two
     // buckets with the same helper the live registry uses.
     const JsonValue* metrics = manifest.Find("metrics");
@@ -731,6 +1067,8 @@ int Main(int argc, const char* const* argv) {
   const std::string metrics_out = flags.GetString("metrics-out");
   const std::string telemetry_out = flags.GetString("telemetry-out");
   const std::string status_out = flags.GetString("status-out");
+  const std::string audit_out = flags.GetString("audit-out");
+  const std::string drift_baseline_out = flags.GetString("drift-baseline-out");
   // Probe every artifact path up front: an unwritable destination is a
   // usage error the user should see before a long run, not after it.
   const struct {
@@ -739,7 +1077,9 @@ int Main(int argc, const char* const* argv) {
   } artifact_flags[] = {{"--trace-out", trace_out},
                         {"--metrics-out", metrics_out},
                         {"--telemetry-out", telemetry_out},
-                        {"--status-out", status_out}};
+                        {"--status-out", status_out},
+                        {"--audit-out", audit_out},
+                        {"--drift-baseline-out", drift_baseline_out}};
   for (const auto& artifact : artifact_flags) {
     if (artifact.path.empty()) continue;
     const Status writable = CheckWritable(artifact.path);
@@ -757,10 +1097,24 @@ int Main(int argc, const char* const* argv) {
   auto trace_max_events_or = flags.GetInt("trace-max-events", 0);
   auto status_interval_or = flags.GetInt("status-interval-ms", 1000);
   auto stall_timeout_or = flags.GetInt("stall-timeout-ms", 0);
+  auto audit_sample_rate_or = flags.GetInt("audit-sample-rate", 16);
+  auto audit_top_k_or = flags.GetInt("audit-top-k", 3);
   if (!trace_max_events_or.ok() || !status_interval_or.ok() ||
-      !stall_timeout_or.ok()) {
+      !stall_timeout_or.ok() || !audit_sample_rate_or.ok() ||
+      !audit_top_k_or.ok()) {
     std::cerr << "error: malformed observability flag value\n" << kUsage;
     return 2;
+  }
+  if (!audit_out.empty()) {
+    core::AuditOptions audit_options;
+    audit_options.sample_rate = *audit_sample_rate_or;
+    audit_options.top_k = static_cast<int>(*audit_top_k_or);
+    const Status configured =
+        core::AuditLog::Global().Configure(audit_options);
+    if (!configured.ok()) {
+      std::cerr << "error: --audit-out: " << configured.message() << "\n";
+      return 2;
+    }
   }
   if (*stall_timeout_or > 0 && status_out.empty()) {
     std::cerr << "error: --stall-timeout-ms requires --status-out\n";
@@ -808,6 +1162,8 @@ int Main(int argc, const char* const* argv) {
       status = RunStudy(flags);
     } else if (flags.command() == "report") {
       status = RunReport(flags);
+    } else if (flags.command() == "audit-replay") {
+      status = RunAuditReplay(flags);
     } else if (flags.command() == "help" || flags.command().empty()) {
       std::cout << kUsage;
       return flags.command().empty() ? 2 : 0;
@@ -822,6 +1178,16 @@ int Main(int argc, const char* const* argv) {
     monitor->Stop();
     std::cout << "wrote " << monitor->heartbeats_written()
               << " status heartbeats to " << status_out << "\n";
+  }
+  if (!audit_out.empty()) {
+    core::AuditLog& audit = core::AuditLog::Global();
+    audit.Disable();
+    const Status written = audit.WriteToFile(audit_out);
+    if (!written.ok() && status.ok()) status = written;
+    if (written.ok()) {
+      std::cout << "wrote audit log (" << audit.record_count()
+                << " records) to " << audit_out << "\n";
+    }
   }
   if (!metrics_out.empty()) {
     const Status written = WriteFileAtomic(

@@ -9,9 +9,10 @@ Usage:
 Reads the run manifest (`mysawh-run-manifest v1`) and/or the telemetry
 artifact (`mysawh-telemetry v1` JSONL) that `mysawh_cli study
 --manifest-out/--telemetry-out` writes, and emits one HTML file with no
-external assets: inline SVG learning curves, per-cell timing bars, and
-data-quality tables. `mysawh_cli report` renders the Markdown flavour of
-the same inputs.
+external assets: inline SVG learning curves, per-cell timing bars,
+data-quality tables, and per-cell model-quality (drift + calibration)
+tables. `mysawh_cli report` renders the Markdown flavour of the same
+inputs.
 
 Only the Python standard library is used.
 """
@@ -156,6 +157,51 @@ def render_manifest_sections(manifest, out):
                 f"<td class='num'>"
                 f"{profile.get('mean_bin_occupancy', 0) * 100:.1f}%</td>"
                 f"</tr>")
+        out.append("</table>")
+
+    drift = manifest.get("drift", {})
+    if drift:
+        out.append("<h2>Drift (test vs train)</h2><table>"
+                   "<tr><th>cell</th><th>rows</th><th>max PSI</th>"
+                   "<th>max KS</th><th>prediction PSI</th>"
+                   "<th>alerts</th></tr>")
+        for name, report in drift.items():
+            alerts = report.get("alerts", [])
+            shown = ", ".join(alerts[:4]) + (" &hellip;" if len(alerts) > 4
+                                             else "")
+            prediction = report.get("prediction", {})
+            out.append(
+                f"<tr><td><code>{html.escape(name)}</code></td>"
+                f"<td class='num'>{report.get('rows', 0)}</td>"
+                f"<td class='num'>{report.get('max_psi', 0):.3f} "
+                f"({html.escape(report.get('max_psi_feature', '-'))})</td>"
+                f"<td class='num'>{report.get('max_ks', 0):.3f} "
+                f"({html.escape(report.get('max_ks_feature', '-'))})</td>"
+                f"<td class='num'>{prediction.get('psi', 0):.3f}</td>"
+                f"<td>{html.escape(shown) if alerts else '&mdash;'}</td>"
+                f"</tr>")
+        out.append("</table>")
+
+    calibration = manifest.get("calibration", {})
+    if calibration:
+        out.append("<h2>Calibration</h2><table>"
+                   "<tr><th>cell</th><th>kind</th><th>rows</th>"
+                   "<th>summary</th></tr>")
+        for name, report in calibration.items():
+            if report.get("kind") == "classification":
+                summary = (f"Brier {report.get('brier', 0):.4f}, "
+                           f"ECE {report.get('ece', 0):.4f} over "
+                           f"{report.get('num_bins', 0)} bins")
+            else:
+                summary = (f"MAE {report.get('mae', 0):.3f}, "
+                           f"p50 {report.get('p50', 0):.3f}, "
+                           f"p90 {report.get('p90', 0):.3f}, "
+                           f"p99 {report.get('p99', 0):.3f}")
+            out.append(
+                f"<tr><td><code>{html.escape(name)}</code></td>"
+                f"<td>{html.escape(report.get('kind', '?'))}</td>"
+                f"<td class='num'>{report.get('rows', 0)}</td>"
+                f"<td>{summary}</td></tr>")
         out.append("</table>")
 
 

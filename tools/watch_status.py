@@ -10,8 +10,8 @@ line per new heartbeat:
 
     seq    5  up   5.2s  rss  312.4MB  cpu  18.3s  study  7/12  queue  3
 
-Stall events are surfaced as they appear. Exits when the run writes its
-final heartbeat, or on Ctrl-C. Stdlib only.
+Stall and drift events are surfaced as they appear. Exits when the run
+writes its final heartbeat, or on Ctrl-C. Stdlib only.
 """
 
 import argparse
@@ -46,6 +46,20 @@ def render(status):
     return line
 
 
+def render_event(event):
+    kind = event.get("type")
+    if kind == "drift":
+        alerts = ",".join(event.get("alerts", []))
+        return (f"drift: {event.get('window_rows', '?')} rows, "
+                f"max PSI {event.get('max_psi', 0):.3f} "
+                f"({event.get('max_psi_feature', '?')}), "
+                f"max KS {event.get('max_ks', 0):.3f} "
+                f"({event.get('max_ks_feature', '?')}), alerts [{alerts}]")
+    return (f"{kind}: silent {event.get('silent_ms', '?')}ms, queue "
+            f"{event.get('queue_depth', '?')}, last spans "
+            f"{event.get('recent_spans', [])}")
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -72,10 +86,7 @@ def main(argv):
                 print(render(status), flush=True)
                 events = status.get("events", [])
                 for event in events[seen_events:]:
-                    print(f"  !! {event.get('type')}: silent "
-                          f"{event.get('silent_ms', '?')}ms, queue "
-                          f"{event.get('queue_depth', '?')}, last spans "
-                          f"{event.get('recent_spans', [])}", flush=True)
+                    print(f"  !! {render_event(event)}", flush=True)
                 seen_events = len(events)
                 if status.get("final"):
                     return 0
